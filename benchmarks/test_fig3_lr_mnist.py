@@ -1,0 +1,30 @@
+"""Figure 3: Loss/Accuracy vs. time for LR on MNIST (Air-FedGA vs AirComp baselines).
+
+Paper result: Air-FedGA reaches a stable 80% accuracy ~29.9% faster than
+Air-FedAvg and ~71.6% faster than Dynamic; final accuracy after 5000 s is
+89.7% vs 88.3% (Air-FedAvg) and 82.5% (Dynamic).  At benchmark scale we
+check the same ordering on the synthetic MNIST stand-in.
+"""
+
+from __future__ import annotations
+
+from .figure_utils import assert_air_fedga_competitive, run_and_report_figure
+from .workloads import ACCURACY_TARGETS, fig3_config
+
+
+def test_fig3_lr_mnist(benchmark):
+    config = fig3_config()
+    targets = ACCURACY_TARGETS["lr_mnist"]
+
+    histories = benchmark.pedantic(
+        run_and_report_figure,
+        args=(config, "Fig. 3 — LR on synthetic MNIST", targets),
+        rounds=1,
+        iterations=1,
+    )
+
+    # Shape checks: every mechanism learns, and Air-FedGA reaches the middle
+    # target no later than the baselines (up to simulation slack).
+    for name, history in histories.items():
+        assert history.best_accuracy() > 0.3, f"{name} failed to learn"
+    assert_air_fedga_competitive(histories, target=targets[1])

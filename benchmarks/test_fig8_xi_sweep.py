@@ -1,0 +1,64 @@
+"""Figure 8: training time to target accuracy as a function of ξ.
+
+Paper result: time-to-accuracy is minimized at ξ = 0.3; ξ → 0 degenerates to
+fully-asynchronous single-worker updates without AirComp gains (training time
+explodes to >14000 s) and ξ → 1 recreates the straggler problem (823 s vs
+485 s at 80%).  At benchmark scale we sweep ξ ∈ {0, 0.3, 1} and check that
+one of the extreme settings is not better than the paper's ξ = 0.3 operating
+point.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments import format_table, xi_sweep
+from .workloads import ACCURACY_TARGETS, fig3_config
+
+
+XI_VALUES = (0.0, 0.3, 1.0)
+
+
+def run_sweep():
+    config = fig3_config(num_workers=30, max_time=2000.0)
+    targets = ACCURACY_TARGETS["lr_mnist"]
+    return xi_sweep(config, xi_values=XI_VALUES, accuracy_targets=targets), targets
+
+
+def test_fig8_xi_sweep(benchmark):
+    results, targets = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    rows = []
+    for xi in XI_VALUES:
+        entry = results[xi]
+        rows.append(
+            (
+                xi,
+                entry["_num_groups"],
+                entry["_final_accuracy"],
+                entry[targets[0]],
+                entry[targets[1]],
+                entry[targets[2]],
+            )
+        )
+    print("\n=== Fig. 8 — training time vs xi (Air-FedGA) ===")
+    print(
+        format_table(
+            ["xi", "groups", "final acc"] + [f"t@{int(t*100)}% (s)" for t in targets],
+            rows,
+        )
+    )
+
+    # xi = 0 must produce (many) more groups than xi = 1.
+    assert results[0.0]["_num_groups"] > results[1.0]["_num_groups"]
+
+    # The paper's operating point xi = 0.3 reaches the first target, and at
+    # least one of the extremes is no better than it (the U-shape of Fig. 8).
+    def time_or_inf(xi, target):
+        value = results[xi][target]
+        return math.inf if value is None else value
+
+    target = targets[0]
+    t_mid = time_or_inf(0.3, target)
+    assert t_mid < math.inf, "Air-FedGA at xi=0.3 never reached the target accuracy"
+    assert t_mid <= max(time_or_inf(0.0, target), time_or_inf(1.0, target)) * 1.1

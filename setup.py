@@ -1,0 +1,9 @@
+"""Setup shim so editable installs work without the `wheel` package.
+
+The environment has no network access and no `wheel` distribution, so the
+PEP-517 editable path (which needs bdist_wheel) cannot run; `pip install -e .`
+falls back to this legacy setup.py when invoked with --no-use-pep517.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,28 @@
+"""repro: reproduction of Air-FedGA (IPDPS 2025).
+
+Air-FedGA is a grouping asynchronous federated learning mechanism that uses
+over-the-air computation (AirComp) for intra-group model aggregation while
+groups update the global model asynchronously.  This package contains:
+
+* :mod:`repro.core` -- the mechanism (Algorithm 1), power control
+  (Algorithm 2), worker grouping (Algorithm 3) and the convergence analysis
+  (Theorem 1);
+* :mod:`repro.nn` -- a NumPy neural-network substrate (layers, models,
+  losses, SGD) standing in for PyTorch;
+* :mod:`repro.data` -- synthetic datasets, federated partitioners and
+  label-distribution statistics (EMD);
+* :mod:`repro.channel` -- the wireless substrate: block fading, AirComp
+  superposition over a noisy MAC, OMA latency models and energy accounting;
+* :mod:`repro.sim` -- a discrete-event simulator and the edge-heterogeneity
+  latency model;
+* :mod:`repro.fl` -- runnable trainers for Air-FedGA and the four baselines
+  (FedAvg, TiFL, Air-FedAvg, Dynamic);
+* :mod:`repro.experiments` -- the harness reproducing every table and figure
+  of the paper's evaluation section.
+"""
+
+from . import channel, core, data, fl, nn, sim
+
+__version__ = "1.0.0"
+
+__all__ = ["channel", "core", "data", "fl", "nn", "sim", "__version__"]

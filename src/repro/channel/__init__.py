@@ -1,0 +1,31 @@
+"""Wireless channel substrate: fading gains, AirComp MAC, OMA latency, energy."""
+
+from .fading import ChannelModel, RayleighFading, StaticChannel, build_channel
+from .aircomp import (
+    AirCompResult,
+    aircomp_aggregate,
+    aircomp_latency,
+    aggregation_error_term,
+    ideal_group_average,
+)
+from .oma import OMAConfig, ofdma_round_time, tdma_round_time, worker_upload_time
+from .energy import EnergyTracker, max_sigma_for_budget, transmit_energy
+
+__all__ = [
+    "ChannelModel",
+    "RayleighFading",
+    "StaticChannel",
+    "build_channel",
+    "AirCompResult",
+    "aircomp_aggregate",
+    "ideal_group_average",
+    "aggregation_error_term",
+    "aircomp_latency",
+    "OMAConfig",
+    "worker_upload_time",
+    "tdma_round_time",
+    "ofdma_round_time",
+    "EnergyTracker",
+    "max_sigma_for_budget",
+    "transmit_energy",
+]

@@ -1,0 +1,216 @@
+"""Over-the-air computation (AirComp) over a noisy fading MAC.
+
+Implements the analog aggregation of the paper's Eqs. (6), (9) and (10):
+
+* each participating worker pre-equalizes its transmission with power
+  ``p_i^t = d_i σ_t / h_i^t`` (Eq. 6), so the channel attenuation cancels
+  and the parameter server receives ``Σ d_i σ_t w_i^t + z_t`` (Eq. 9) where
+  ``z_t`` is AWGN with per-entry variance σ₀²;
+* the parameter server divides by ``D √η_t`` (η_t is the denoising factor)
+  and mixes the result with the previous global model using the group's
+  data share (Eq. 10).
+
+The per-round aggregation error term ``C_t = (σ_t/√η_t − 1)² W_t² +
+σ₀²/(D_{j_t}² η_t)`` from Eq. (30) is also exposed so that the power-control
+module and the convergence-bound utilities can share one implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "AirCompResult",
+    "aircomp_aggregate",
+    "ideal_group_average",
+    "aggregation_error_term",
+    "aircomp_latency",
+]
+
+
+@dataclass
+class AirCompResult:
+    """Outcome of one over-the-air aggregation.
+
+    Attributes
+    ----------
+    received:
+        The raw received signal ``y_t`` (superposed analog waveform + noise).
+    estimate:
+        The server-side estimate of the weighted group model,
+        ``y_t / (D_j √η_t)`` — i.e. the noisy version of
+        ``Σ_i (d_i / D_j) w_i``.
+    transmit_powers:
+        Per-worker power scaling ``p_i = d_i σ / h_i`` actually used.
+    transmit_energies:
+        Per-worker transmit energy ``E_i = ||p_i w_i||²`` (Eq. 7).
+    noise_norm:
+        Euclidean norm of the injected AWGN vector (diagnostics).
+    """
+
+    received: np.ndarray
+    estimate: np.ndarray
+    transmit_powers: np.ndarray
+    transmit_energies: np.ndarray
+    noise_norm: float
+
+
+def ideal_group_average(
+    models: Sequence[np.ndarray], data_sizes: Sequence[float]
+) -> np.ndarray:
+    """Error-free data-weighted average of the group's local models.
+
+    This is ``w_t^j = Σ_i (d_i / D_j) w_i`` (Eq. 15), the quantity AirComp
+    approximates.  Used as the ground truth in tests and for the "error-free"
+    ablation.
+    """
+    if len(models) == 0:
+        raise ValueError("at least one model is required")
+    if len(models) != len(data_sizes):
+        raise ValueError("models and data_sizes length mismatch")
+    sizes = np.asarray(data_sizes, dtype=np.float64)
+    if np.any(sizes <= 0):
+        raise ValueError("data sizes must be positive")
+    total = sizes.sum()
+    acc = np.zeros_like(np.asarray(models[0], dtype=np.float64))
+    for w, d in zip(models, sizes):
+        acc += (d / total) * np.asarray(w, dtype=np.float64)
+    return acc
+
+
+def aircomp_aggregate(
+    models: Sequence[np.ndarray],
+    data_sizes: Sequence[float],
+    channel_gains: Sequence[float],
+    sigma_t: float,
+    eta_t: float,
+    noise_std: float,
+    rng: np.random.Generator,
+    total_data_size: float | None = None,
+) -> AirCompResult:
+    """Simulate one over-the-air aggregation over the noisy fading MAC.
+
+    Parameters
+    ----------
+    models:
+        Flat local model vectors ``w_i^t`` of the participating workers.
+    data_sizes:
+        Per-worker data sizes ``d_i``.
+    channel_gains:
+        Per-worker channel gains ``h_i^t`` for this round.
+    sigma_t:
+        Power scaling factor σ_t (common to the group in this round).
+    eta_t:
+        Denoising factor η_t at the parameter server.
+    noise_std:
+        Standard deviation σ₀ of the AWGN per vector entry.
+    rng:
+        Random generator used to draw the noise vector.
+    total_data_size:
+        ``D_j`` used for normalisation.  Defaults to ``sum(data_sizes)``
+        (the group total); passing the global ``D`` instead reproduces the
+        paper's Eq. (10) normalisation before the β_j re-scaling.
+
+    Returns
+    -------
+    AirCompResult
+        The received signal, the normalized estimate and per-worker energy.
+    """
+    if len(models) == 0:
+        raise ValueError("at least one worker must participate")
+    if not (len(models) == len(data_sizes) == len(channel_gains)):
+        raise ValueError("models, data_sizes and channel_gains length mismatch")
+    if sigma_t <= 0:
+        raise ValueError(f"sigma_t must be positive, got {sigma_t}")
+    if eta_t <= 0:
+        raise ValueError(f"eta_t must be positive, got {eta_t}")
+    if noise_std < 0:
+        raise ValueError("noise_std must be non-negative")
+
+    sizes = np.asarray(data_sizes, dtype=np.float64)
+    gains = np.asarray(channel_gains, dtype=np.float64)
+    if np.any(sizes <= 0):
+        raise ValueError("data sizes must be positive")
+    if np.any(gains <= 0):
+        raise ValueError("channel gains must be positive")
+
+    dim = np.asarray(models[0]).size
+    received = np.zeros(dim, dtype=np.float64)
+    powers = sizes * sigma_t / gains  # Eq. (6)
+    energies = np.empty(len(models), dtype=np.float64)
+    for i, w in enumerate(models):
+        vec = np.asarray(w, dtype=np.float64).ravel()
+        if vec.size != dim:
+            raise ValueError("all model vectors must have the same dimension")
+        # Pre-equalization cancels h_i: the channel applies h_i, the worker
+        # transmits p_i * w_i, and the PS receives h_i * p_i * w_i = d_i σ w_i.
+        received += sizes[i] * sigma_t * vec
+        energies[i] = float(np.sum((powers[i] * vec) ** 2))  # Eq. (7)
+
+    noise = np.zeros(dim, dtype=np.float64)
+    if noise_std > 0:
+        noise = rng.standard_normal(dim) * noise_std
+        received = received + noise
+
+    denom = float(total_data_size) if total_data_size is not None else float(sizes.sum())
+    if denom <= 0:
+        raise ValueError("total data size must be positive")
+    estimate = received / (denom * np.sqrt(eta_t))
+
+    return AirCompResult(
+        received=received,
+        estimate=estimate,
+        transmit_powers=powers,
+        transmit_energies=energies,
+        noise_norm=float(np.linalg.norm(noise)),
+    )
+
+
+def aggregation_error_term(
+    sigma_t: float,
+    eta_t: float,
+    model_bound: float,
+    noise_var: float,
+    group_data_size: float,
+) -> float:
+    """The per-round error term ``C_t`` of Eq. (30).
+
+    ``C_t = (σ_t/√η_t − 1)² W_t² + σ₀² / (D_{j_t}² η_t)``
+
+    where ``W_t`` bounds the local model norms and ``σ₀²`` is the AWGN
+    variance.  Minimizing this over (σ_t, η_t) is the power-control problem
+    P3 that Algorithm 2 solves.
+    """
+    if sigma_t <= 0 or eta_t <= 0:
+        raise ValueError("sigma_t and eta_t must be positive")
+    if model_bound < 0 or noise_var < 0:
+        raise ValueError("model_bound and noise_var must be non-negative")
+    if group_data_size <= 0:
+        raise ValueError("group_data_size must be positive")
+    mismatch = sigma_t / np.sqrt(eta_t) - 1.0
+    return float(
+        mismatch**2 * model_bound**2 + noise_var / (group_data_size**2 * eta_t)
+    )
+
+
+def aircomp_latency(
+    model_dimension: int, num_subchannels: int, symbol_duration: float
+) -> float:
+    """Model-upload latency of one over-the-air aggregation (Eq. 33).
+
+    ``L_u = (q / R) · L_s`` — the whole group transmits concurrently, so the
+    latency depends only on the model dimension ``q``, the number of
+    sub-channels ``R`` and the OFDM symbol duration ``L_s``, *not* on the
+    number of participating workers.  That independence is exactly what
+    gives AirComp its scalability advantage in Fig. 10.
+    """
+    if model_dimension <= 0:
+        raise ValueError("model_dimension must be positive")
+    if num_subchannels <= 0:
+        raise ValueError("num_subchannels must be positive")
+    if symbol_duration <= 0:
+        raise ValueError("symbol_duration must be positive")
+    return float(np.ceil(model_dimension / num_subchannels) * symbol_duration)

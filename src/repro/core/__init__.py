@@ -1,0 +1,75 @@
+"""Core contribution: the Air-FedGA mechanism and its optimization algorithms."""
+
+from .config import (
+    AirCompConfig,
+    AirFedGAConfig,
+    ConvergenceConfig,
+    GroupingConfig,
+)
+from .timing import (
+    GroupTiming,
+    average_round_time,
+    estimated_max_staleness,
+    group_completion_time,
+    participation_frequencies,
+)
+from .convergence import (
+    ConvergenceBound,
+    grouping_objective,
+    lemma1_bound_sequence,
+    lemma1_decay,
+    lemma1_residual,
+    rounds_to_epsilon,
+    theorem1_bound,
+    theorem1_delta,
+    theorem1_rho,
+)
+from .power_control import (
+    PowerControlResult,
+    feasible_sigma,
+    optimal_eta,
+    solve_power_control,
+)
+from .grouping import (
+    GroupingProblem,
+    GroupingResult,
+    greedy_grouping,
+    random_grouping,
+    singleton_grouping,
+    tier_grouping,
+)
+from .mechanism import AggregationEvent, GroupAsyncScheduler, GroupState
+
+__all__ = [
+    "AirCompConfig",
+    "GroupingConfig",
+    "ConvergenceConfig",
+    "AirFedGAConfig",
+    "GroupTiming",
+    "group_completion_time",
+    "average_round_time",
+    "participation_frequencies",
+    "estimated_max_staleness",
+    "lemma1_decay",
+    "lemma1_residual",
+    "lemma1_bound_sequence",
+    "theorem1_rho",
+    "theorem1_delta",
+    "theorem1_bound",
+    "rounds_to_epsilon",
+    "grouping_objective",
+    "ConvergenceBound",
+    "PowerControlResult",
+    "optimal_eta",
+    "feasible_sigma",
+    "solve_power_control",
+    "GroupingProblem",
+    "GroupingResult",
+    "greedy_grouping",
+    "tier_grouping",
+    "random_grouping",
+    "singleton_grouping",
+    "GroupState",
+    "AggregationEvent",
+    "GroupAsyncScheduler",
+]

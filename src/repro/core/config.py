@@ -1,0 +1,123 @@
+"""Configuration objects shared by the Air-FedGA core algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["AirCompConfig", "GroupingConfig", "ConvergenceConfig", "AirFedGAConfig"]
+
+
+@dataclass
+class AirCompConfig:
+    """Physical-layer parameters of the over-the-air aggregation.
+
+    Defaults follow Section VI-A2 of the paper: bandwidth 1 MHz, noise
+    variance σ₀² = 1 W and a per-round energy budget Ê_i = 10 J.
+    """
+
+    noise_variance: float = 1.0
+    energy_budget_j: float = 10.0
+    num_subchannels: int = 64
+    symbol_duration_s: float = 1e-4
+    bandwidth_hz: float = 1e6
+    power_control_tolerance: float = 1e-6
+    power_control_max_iters: int = 200
+
+    def __post_init__(self) -> None:
+        if self.noise_variance < 0:
+            raise ValueError("noise_variance must be non-negative")
+        if self.energy_budget_j <= 0:
+            raise ValueError("energy_budget_j must be positive")
+        if self.num_subchannels <= 0:
+            raise ValueError("num_subchannels must be positive")
+        if self.symbol_duration_s <= 0:
+            raise ValueError("symbol_duration_s must be positive")
+        if self.bandwidth_hz <= 0:
+            raise ValueError("bandwidth_hz must be positive")
+        if self.power_control_tolerance <= 0:
+            raise ValueError("power_control_tolerance must be positive")
+        if self.power_control_max_iters < 1:
+            raise ValueError("power_control_max_iters must be >= 1")
+
+
+@dataclass
+class GroupingConfig:
+    """Parameters of the worker-grouping algorithm (Alg. 3).
+
+    ``xi`` is the intra-group training-time similarity slack ξ of constraint
+    (36d); the paper finds ξ = 0.3 to be a good operating point (Fig. 8).
+    """
+
+    xi: float = 0.3
+    sort_descending_by_data: bool = True
+    emd_weight: float = 1.0
+    #: Seed for breaking data-size ties in the greedy visit order (see
+    #: :func:`repro.core.grouping.greedy_grouping`).
+    tie_break_seed: int = 0
+    #: Number of local-search refinement passes applied after the greedy
+    #: assignment (0 recovers the paper's single-pass Algorithm 3).
+    refine_passes: int = 3
+
+    def __post_init__(self) -> None:
+        if self.xi < 0:
+            raise ValueError("xi must be non-negative")
+        if self.emd_weight < 0:
+            raise ValueError("emd_weight must be non-negative")
+        if self.tie_break_seed < 0:
+            raise ValueError("tie_break_seed must be non-negative")
+        if self.refine_passes < 0:
+            raise ValueError("refine_passes must be non-negative")
+
+
+@dataclass
+class ConvergenceConfig:
+    """Constants appearing in the Theorem-1 bound.
+
+    These are the smoothness ``L``, strong-convexity ``μ``, gradient bound
+    ``G`` and initial optimality gap ``F(w0) − F(w*)`` used when evaluating
+    the theoretical objective of P2.  They act as *relative* weights in the
+    grouping objective; the defaults are the canonical unit-scale choices
+    used throughout the FL-analysis literature.
+    """
+
+    smoothness_L: float = 1.0
+    strong_convexity_mu: float = 0.5
+    learning_rate_gamma: float = 0.9
+    gradient_bound_G: float = 1.0
+    model_bound_W: float = 1.0
+    initial_gap: float = 1.0
+    target_epsilon: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.smoothness_L <= 0:
+            raise ValueError("smoothness_L must be positive")
+        if self.strong_convexity_mu < 0:
+            raise ValueError("strong_convexity_mu must be non-negative")
+        if self.strong_convexity_mu > self.smoothness_L:
+            raise ValueError("mu cannot exceed L")
+        if not (0 < self.learning_rate_gamma):
+            raise ValueError("learning_rate_gamma must be positive")
+        lo, hi = 1.0 / (2 * self.smoothness_L), 1.0 / self.smoothness_L
+        if not (lo < self.learning_rate_gamma < hi):
+            raise ValueError(
+                f"Theorem 1 requires 1/(2L) < gamma < 1/L, i.e. gamma in "
+                f"({lo}, {hi}); got {self.learning_rate_gamma}"
+            )
+        if self.gradient_bound_G <= 0:
+            raise ValueError("gradient_bound_G must be positive")
+        if self.model_bound_W <= 0:
+            raise ValueError("model_bound_W must be positive")
+        if self.initial_gap <= 0:
+            raise ValueError("initial_gap must be positive")
+        if self.target_epsilon <= 0:
+            raise ValueError("target_epsilon must be positive")
+
+
+@dataclass
+class AirFedGAConfig:
+    """Top-level configuration bundling the core-algorithm settings."""
+
+    aircomp: AirCompConfig = field(default_factory=AirCompConfig)
+    grouping: GroupingConfig = field(default_factory=GroupingConfig)
+    convergence: ConvergenceConfig = field(default_factory=ConvergenceConfig)

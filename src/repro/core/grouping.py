@@ -1,0 +1,380 @@
+"""Worker grouping strategies.
+
+The central algorithm is the paper's greedy worker-grouping algorithm
+(Algorithm 3), which builds the grouping one worker at a time so as to
+minimize the estimated total training time
+
+    L(x) = L · (1 + τ̂_max) · log_B A                          (P4, Eq. 48)
+
+subject to the intra-group time-similarity constraint
+
+    L_j(x) − L_u − l_i ≤ ξ · Δl   for every v_i ∈ V_j.        (Eq. 36d)
+
+Two alternative strategies are provided for the baselines and ablations:
+
+* :func:`tier_grouping` — TiFL-style tiers formed purely by local-training
+  time quantiles (ignores data distribution), and
+* :func:`random_grouping` — uniformly random assignment into a fixed number
+  of groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .config import AirFedGAConfig, ConvergenceConfig, GroupingConfig
+from .convergence import grouping_objective
+from .timing import GroupTiming
+
+__all__ = [
+    "GroupingProblem",
+    "GroupingResult",
+    "greedy_grouping",
+    "tier_grouping",
+    "random_grouping",
+    "singleton_grouping",
+]
+
+
+@dataclass
+class GroupingProblem:
+    """Inputs to a grouping decision.
+
+    Attributes
+    ----------
+    data_sizes:
+        Per-worker data sizes ``d_i``.
+    class_counts:
+        Per-worker per-class counts ``d_i^k`` (shape workers x classes).
+    local_times:
+        Per-worker local-training times ``l_i`` (Section V-A, estimated from
+        historical measurements; here from the latency table).
+    model_dimension:
+        Model dimension ``q`` used for the AirComp upload latency.
+    config:
+        Core configuration (grouping slack ξ, AirComp physical parameters,
+        convergence constants).
+    c_max:
+        The power-control error term C plugged into the objective; the
+        caller typically computes it once with
+        :func:`repro.core.power_control.solve_power_control`.
+    """
+
+    data_sizes: np.ndarray
+    class_counts: np.ndarray
+    local_times: np.ndarray
+    model_dimension: int
+    config: AirFedGAConfig = field(default_factory=AirFedGAConfig)
+    c_max: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.data_sizes = np.asarray(self.data_sizes, dtype=np.float64)
+        self.class_counts = np.asarray(self.class_counts, dtype=np.float64)
+        self.local_times = np.asarray(self.local_times, dtype=np.float64)
+        n = self.data_sizes.shape[0]
+        if n == 0:
+            raise ValueError("at least one worker required")
+        if self.class_counts.shape[0] != n:
+            raise ValueError("class_counts must have one row per worker")
+        if self.local_times.shape[0] != n:
+            raise ValueError("local_times must have one entry per worker")
+        if np.any(self.data_sizes < 0) or np.any(self.class_counts < 0):
+            raise ValueError("data sizes and class counts must be non-negative")
+        if np.any(self.local_times <= 0):
+            raise ValueError("local training times must be positive")
+        if self.model_dimension <= 0:
+            raise ValueError("model_dimension must be positive")
+        if self.c_max < 0:
+            raise ValueError("c_max must be non-negative")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_workers(self) -> int:
+        return int(self.data_sizes.shape[0])
+
+    @property
+    def num_classes(self) -> int:
+        return int(self.class_counts.shape[1])
+
+    def global_distribution(self) -> np.ndarray:
+        """λ_k over all workers (uniform if the dataset were empty)."""
+        totals = self.class_counts.sum(axis=0)
+        s = totals.sum()
+        if s <= 0:
+            return np.full(self.num_classes, 1.0 / self.num_classes)
+        return totals / s
+
+    def time_spread(self) -> float:
+        """Δl = max l_i − min l_i."""
+        return float(self.local_times.max() - self.local_times.min())
+
+
+@dataclass
+class GroupingResult:
+    """A concrete grouping plus the quantities needed downstream."""
+
+    groups: List[List[int]]
+    objective: float
+    group_times: np.ndarray
+    frequencies: np.ndarray
+    betas: np.ndarray
+    lambdas: np.ndarray
+    upload_latency: float
+    tau_max_estimate: float
+    strategy: str = "greedy"
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.groups)
+
+    def group_of(self, worker_id: int) -> int:
+        for g, members in enumerate(self.groups):
+            if worker_id in members:
+                return g
+        raise KeyError(f"worker {worker_id} is not assigned to any group")
+
+    def membership(self, num_workers: int) -> np.ndarray:
+        """Array mapping worker id -> group index."""
+        out = np.full(num_workers, -1, dtype=np.int64)
+        for g, members in enumerate(self.groups):
+            for w in members:
+                out[w] = g
+        if np.any(out < 0):
+            missing = np.flatnonzero(out < 0).tolist()
+            raise ValueError(f"workers not assigned to any group: {missing}")
+        return out
+
+
+# ----------------------------------------------------------------------
+# Shared evaluation of a candidate grouping
+# ----------------------------------------------------------------------
+def _evaluate_grouping(
+    problem: GroupingProblem, groups: Sequence[Sequence[int]], strategy: str
+) -> GroupingResult:
+    cfg = problem.config
+    group_lists = [list(g) for g in groups if len(g) > 0]
+    if not group_lists:
+        raise ValueError("grouping has no non-empty groups")
+
+    timing = GroupTiming(
+        group_local_times=[
+            [float(problem.local_times[w]) for w in members] for members in group_lists
+        ],
+        model_dimension=problem.model_dimension,
+        num_subchannels=cfg.aircomp.num_subchannels,
+        symbol_duration=cfg.aircomp.symbol_duration_s,
+    )
+
+    total_data = float(problem.data_sizes.sum())
+    betas = np.array(
+        [problem.data_sizes[list(members)].sum() / total_data for members in group_lists]
+    )
+    global_dist = problem.global_distribution()
+    lambdas = np.empty(len(group_lists))
+    for g, members in enumerate(group_lists):
+        counts = problem.class_counts[list(members)].sum(axis=0)
+        size = counts.sum()
+        dist = counts / size if size > 0 else np.full_like(global_dist, 1.0 / problem.num_classes)
+        lambdas[g] = np.abs(dist - global_dist).sum()
+
+    psi = timing.frequencies
+    tau = timing.tau_max_estimate()
+    objective = grouping_objective(
+        cfg.convergence,
+        round_time=timing.round_time,
+        tau_max=tau,
+        psi=psi,
+        beta=betas,
+        lambdas=lambdas,
+        c_max=problem.c_max,
+    )
+    return GroupingResult(
+        groups=group_lists,
+        objective=float(objective),
+        group_times=timing.group_times,
+        frequencies=psi,
+        betas=betas,
+        lambdas=lambdas,
+        upload_latency=timing.upload_latency,
+        tau_max_estimate=tau,
+        strategy=strategy,
+    )
+
+
+def _constraint_satisfied(
+    problem: GroupingProblem, members: Sequence[int], upload_latency: float
+) -> bool:
+    """Check Eq. (36d) for one group: every member's wait is within ξ·Δl."""
+    times = problem.local_times[list(members)]
+    group_time = float(times.max()) + upload_latency
+    slack = problem.config.grouping.xi * problem.time_spread()
+    # L_j − L_u − l_i ≤ ξ Δl  for all members (the slowest member trivially
+    # satisfies it with wait 0).
+    return bool(np.all(group_time - upload_latency - times <= slack + 1e-12))
+
+
+# ----------------------------------------------------------------------
+# Algorithm 3: greedy grouping
+# ----------------------------------------------------------------------
+def greedy_grouping(problem: GroupingProblem) -> GroupingResult:
+    """The paper's greedy worker-grouping algorithm (Algorithm 3).
+
+    Workers are visited in descending order of data size.  Each worker is
+    tentatively placed into every existing group and into a fresh singleton
+    group; the placement with the smallest objective among those satisfying
+    the time-similarity constraint (36d) is kept.  A singleton group always
+    satisfies the constraint, so the algorithm always terminates with a
+    complete assignment.  Worst-case complexity is O(N²) group evaluations.
+
+    Ties in data size are broken by a seeded random permutation rather than
+    by worker index: under the paper's label-skew partition consecutive
+    worker indices hold the same class, and visiting them in index order
+    would force the greedy to fill early groups with a single class before
+    any other class has been seen.
+    """
+    rng = np.random.default_rng(problem.config.grouping.tie_break_seed)
+    jitter = rng.permutation(problem.num_workers)
+    order = np.lexsort((jitter, -problem.data_sizes))
+    if not problem.config.grouping.sort_descending_by_data:
+        order = np.arange(problem.num_workers)
+
+    groups: List[List[int]] = []
+    # Upload latency is the same for every grouping (Eq. 33 does not depend
+    # on group membership), so compute it once for the constraint check.
+    upload_latency = GroupTiming(
+        group_local_times=[[float(problem.local_times[0])]],
+        model_dimension=problem.model_dimension,
+        num_subchannels=problem.config.aircomp.num_subchannels,
+        symbol_duration=problem.config.aircomp.symbol_duration_s,
+    ).upload_latency
+
+    for worker in order:
+        worker = int(worker)
+        best_objective = float("inf")
+        best_index: Optional[int] = None
+        # Candidate placements: every existing group plus a new singleton.
+        candidates = list(range(len(groups))) + [len(groups)]
+        for j in candidates:
+            if j < len(groups):
+                trial_members = groups[j] + [worker]
+            else:
+                trial_members = [worker]
+            if not _constraint_satisfied(problem, trial_members, upload_latency):
+                continue
+            trial_groups = [list(g) for g in groups]
+            if j < len(groups):
+                trial_groups[j] = trial_members
+            else:
+                trial_groups.append(trial_members)
+            result = _evaluate_grouping(problem, trial_groups, "greedy")
+            if result.objective < best_objective - 1e-15:
+                best_objective = result.objective
+                best_index = j
+        if best_index is None:
+            # All placements infeasible in the objective sense (e.g. every
+            # candidate returned inf); fall back to a fresh singleton group,
+            # which is always constraint-feasible.
+            best_index = len(groups)
+        if best_index == len(groups):
+            groups.append([worker])
+        else:
+            groups[best_index].append(worker)
+
+    groups = _refine_grouping(problem, groups, upload_latency)
+    return _evaluate_grouping(problem, groups, "greedy")
+
+
+def _refine_grouping(
+    problem: GroupingProblem,
+    groups: List[List[int]],
+    upload_latency: float,
+) -> List[List[int]]:
+    """Local-search refinement of the greedy assignment.
+
+    The single greedy pass fixes each worker's group the moment it is
+    visited, before most of the population has been seen; under strong label
+    skew that leaves easy objective improvements on the table (e.g. two
+    same-class workers stuck in the same group while another group of the
+    same speed band misses that class entirely).  This pass repeatedly tries
+    to *relocate* one worker to another constraint-feasible group and keeps
+    any move that strictly decreases the same P4 objective the greedy pass
+    minimizes.  The number of passes is bounded by
+    ``GroupingConfig.refine_passes`` (0 disables refinement and recovers the
+    paper's one-pass algorithm exactly).
+    """
+    passes = problem.config.grouping.refine_passes
+    if passes <= 0 or len(groups) < 2:
+        return groups
+    current = [list(g) for g in groups]
+    best = _evaluate_grouping(problem, current, "greedy").objective
+    for _ in range(passes):
+        improved = False
+        for worker in range(problem.num_workers):
+            source = next(
+                (j for j, members in enumerate(current) if worker in members), None
+            )
+            if source is None or len(current[source]) <= 1:
+                continue
+            for target in range(len(current)):
+                if target == source:
+                    continue
+                trial_members = current[target] + [worker]
+                if not _constraint_satisfied(problem, trial_members, upload_latency):
+                    continue
+                trial = [list(g) for g in current]
+                trial[source] = [w for w in trial[source] if w != worker]
+                trial[target] = trial_members
+                trial_groups = [g for g in trial if g]
+                objective = _evaluate_grouping(problem, trial_groups, "greedy").objective
+                if objective < best - 1e-12:
+                    current = trial_groups
+                    best = objective
+                    improved = True
+                    break
+        if not improved:
+            break
+    return current
+
+
+# ----------------------------------------------------------------------
+# Baseline strategies
+# ----------------------------------------------------------------------
+def tier_grouping(problem: GroupingProblem, num_groups: int) -> GroupingResult:
+    """TiFL-style tiers: sort workers by local-training time, split in quantiles.
+
+    This only looks at timing, not at the label distribution, which is why
+    its average EMD stays high in Table III.
+    """
+    if num_groups < 1:
+        raise ValueError("num_groups must be >= 1")
+    num_groups = min(num_groups, problem.num_workers)
+    order = np.argsort(problem.local_times, kind="stable")
+    chunks = np.array_split(order, num_groups)
+    groups = [chunk.astype(int).tolist() for chunk in chunks if chunk.size > 0]
+    return _evaluate_grouping(problem, groups, "tier")
+
+
+def random_grouping(
+    problem: GroupingProblem, num_groups: int, seed: int = 0
+) -> GroupingResult:
+    """Uniformly random assignment into ``num_groups`` groups (ablation)."""
+    if num_groups < 1:
+        raise ValueError("num_groups must be >= 1")
+    num_groups = min(num_groups, problem.num_workers)
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(problem.num_workers)
+    chunks = np.array_split(order, num_groups)
+    groups = [chunk.astype(int).tolist() for chunk in chunks if chunk.size > 0]
+    return _evaluate_grouping(problem, groups, "random")
+
+
+def singleton_grouping(problem: GroupingProblem) -> GroupingResult:
+    """Every worker forms its own group (the 'Original' column of Table III).
+
+    This is also the fully-asynchronous limit ξ → 0 discussed around Fig. 8.
+    """
+    groups = [[i] for i in range(problem.num_workers)]
+    return _evaluate_grouping(problem, groups, "singleton")

@@ -1,0 +1,192 @@
+"""The Air-FedGA protocol state machine (Algorithm 1).
+
+This module implements the *mechanism* of the paper independently of any
+particular model or dataset: the parameter-server bookkeeping for the
+READY/EXECUTE handshake, intra-group alignment, asynchronous inter-group
+global updates and staleness accounting.  The federated trainers in
+:mod:`repro.fl` drive this state machine with simulated timing and plug in
+the actual model updates and over-the-air aggregation.
+
+Protocol recap (Alg. 1):
+
+* The server keeps a counter ``r_j`` per group.  Each READY message from a
+  worker of group ``j`` increments ``r_j``; when ``r_j == |V_j|`` the server
+  sends EXECUTE to the whole group, resets ``r_j``, the group performs one
+  over-the-air aggregation and the global round counter ``t`` advances.
+* Workers outside the aggregating group keep their stale local models; the
+  staleness of round ``t`` is ``τ_t = t − (version last received by the
+  aggregating group) − 1``... in the paper's Fig. 2 convention, simply the
+  number of global updates that happened since the group last received the
+  global model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["GroupState", "AggregationEvent", "GroupAsyncScheduler"]
+
+
+@dataclass
+class GroupState:
+    """Per-group bookkeeping at the parameter server."""
+
+    group_id: int
+    members: List[int]
+    ready_count: int = 0
+    ready_workers: set = field(default_factory=set)
+    last_received_version: int = 0   # global round index the group last pulled
+    aggregations: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise ValueError("a group must have at least one member")
+        if len(set(self.members)) != len(self.members):
+            raise ValueError("duplicate workers in group")
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    def is_complete(self) -> bool:
+        return self.ready_count >= self.size
+
+    def reset_ready(self) -> None:
+        self.ready_count = 0
+        self.ready_workers.clear()
+
+
+@dataclass
+class AggregationEvent:
+    """Record of one global update performed by a group."""
+
+    round_index: int          # t, 1-based as in the paper
+    group_id: int
+    staleness: int            # τ_t
+    member_ids: List[int]
+    base_version: int         # global model version the group trained from
+
+
+class GroupAsyncScheduler:
+    """Server-side state machine for grouping-asynchronous aggregation.
+
+    The scheduler is agnostic to time: callers (the trainers or the
+    discrete-event simulator) decide *when* READY messages arrive; the
+    scheduler decides *what* happens — whether a group became complete,
+    what the round index and staleness of the resulting aggregation are,
+    and which global-model version each group currently holds.
+    """
+
+    def __init__(self, groups: Sequence[Sequence[int]]) -> None:
+        if not groups:
+            raise ValueError("at least one group is required")
+        self._groups: List[GroupState] = []
+        seen: set[int] = set()
+        for gid, members in enumerate(groups):
+            members = list(members)
+            overlap = seen.intersection(members)
+            if overlap:
+                raise ValueError(f"workers assigned to multiple groups: {sorted(overlap)}")
+            seen.update(members)
+            self._groups.append(GroupState(group_id=gid, members=members))
+        self._worker_to_group: Dict[int, int] = {}
+        for state in self._groups:
+            for w in state.members:
+                self._worker_to_group[w] = state.group_id
+        self._round: int = 0
+        self._history: List[AggregationEvent] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def num_groups(self) -> int:
+        return len(self._groups)
+
+    @property
+    def current_round(self) -> int:
+        """Number of global updates performed so far (``t`` in the paper)."""
+        return self._round
+
+    @property
+    def history(self) -> List[AggregationEvent]:
+        return list(self._history)
+
+    def group(self, group_id: int) -> GroupState:
+        if not 0 <= group_id < len(self._groups):
+            raise KeyError(f"unknown group {group_id}")
+        return self._groups[group_id]
+
+    def group_of(self, worker_id: int) -> int:
+        try:
+            return self._worker_to_group[worker_id]
+        except KeyError as exc:
+            raise KeyError(f"worker {worker_id} belongs to no group") from exc
+
+    def workers(self) -> List[int]:
+        return sorted(self._worker_to_group)
+
+    # ------------------------------------------------------------------
+    def receive_ready(self, worker_id: int) -> Optional[int]:
+        """Process a READY message (Alg. 1 lines 17-29).
+
+        Returns the group id if the group just became complete (the caller
+        should then send EXECUTE and call :meth:`complete_aggregation`),
+        otherwise ``None``.
+        """
+        gid = self.group_of(worker_id)
+        state = self._groups[gid]
+        if worker_id in state.ready_workers:
+            raise ValueError(
+                f"worker {worker_id} sent READY twice in the same group round"
+            )
+        state.ready_workers.add(worker_id)
+        state.ready_count += 1
+        if state.is_complete():
+            return gid
+        return None
+
+    def complete_aggregation(self, group_id: int) -> AggregationEvent:
+        """Finalize the global update triggered by ``group_id``.
+
+        Advances the global round, computes the group's staleness
+        ``τ_t = t − l_t − 1`` where ``l_t`` is the round at which the group
+        last received the global model (0 before its first participation),
+        resets the READY counter and records the group as now holding the
+        new global model version.
+        """
+        state = self.group(group_id)
+        if not state.is_complete():
+            raise RuntimeError(
+                f"group {group_id} is not complete "
+                f"({state.ready_count}/{state.size} READY messages)"
+            )
+        self._round += 1
+        t = self._round
+        base_version = state.last_received_version
+        staleness = max(0, t - base_version - 1)
+        event = AggregationEvent(
+            round_index=t,
+            group_id=group_id,
+            staleness=staleness,
+            member_ids=list(state.members),
+            base_version=base_version,
+        )
+        self._history.append(event)
+        state.reset_ready()
+        state.last_received_version = t
+        state.aggregations += 1
+        return event
+
+    # ------------------------------------------------------------------
+    def staleness_profile(self) -> List[int]:
+        """Staleness of every aggregation performed so far."""
+        return [e.staleness for e in self._history]
+
+    def max_staleness(self) -> int:
+        """Observed τ_max (0 when no aggregation has happened yet)."""
+        profile = self.staleness_profile()
+        return max(profile) if profile else 0
+
+    def participation_counts(self) -> List[int]:
+        """Number of aggregations performed by each group."""
+        return [g.aggregations for g in self._groups]

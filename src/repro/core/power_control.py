@@ -1,0 +1,186 @@
+"""Power control via alternating optimization (Algorithm 2).
+
+Problem P3 of the paper: choose the power scaling factor σ_t (common to the
+participating group) and the denoising factor η_t (at the parameter server)
+to minimize the per-round aggregation-error term
+
+    C_t = (σ_t / √η_t − 1)² W_t²  +  σ₀² / (D_{j_t}² η_t)        (Eq. 30)
+
+subject to the per-worker energy budgets ``E_i^t ≤ Ê_i`` which translate to
+``σ_t ≤ h_i √Ê_i / (d_i W_t)`` for every participating worker (Eq. 46).
+
+Algorithm 2 alternates two closed-form updates until convergence:
+
+* given σ_t, the optimal denoising factor is
+  ``η_t = [(σ_t² W_t² + σ₀²/D_j²) / (σ_t W_t²)]²``           (Eq. 44)
+* given η_t, the optimal feasible scaling factor is
+  ``σ_t = min( √η_t , min_i h_i √Ê_i / (d_i W_t) )``          (Eq. 47)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..channel.aircomp import aggregation_error_term
+from .config import AirCompConfig
+
+__all__ = ["PowerControlResult", "optimal_eta", "feasible_sigma", "solve_power_control"]
+
+
+@dataclass
+class PowerControlResult:
+    """Outcome of the alternating optimization for one round.
+
+    Attributes
+    ----------
+    sigma:
+        Converged power scaling factor σ_t*.
+    eta:
+        Converged denoising factor η_t*.
+    error_term:
+        The minimized C_t value.
+    iterations:
+        Number of alternating iterations performed.
+    converged:
+        Whether the relative-change stopping criterion was met before the
+        iteration cap.
+    sigma_cap:
+        The energy-budget upper bound on σ_t (min over workers of Eq. 46).
+    history:
+        Per-iteration (σ, η, C) triples for diagnostics and tests.
+    """
+
+    sigma: float
+    eta: float
+    error_term: float
+    iterations: int
+    converged: bool
+    sigma_cap: float
+    history: List[tuple]
+
+
+def optimal_eta(
+    sigma: float, model_bound: float, noise_var: float, group_data_size: float
+) -> float:
+    """Closed-form η minimizing C_t for a fixed σ (Eq. 44)."""
+    if sigma <= 0:
+        raise ValueError("sigma must be positive")
+    if model_bound <= 0:
+        raise ValueError("model_bound must be positive")
+    if noise_var < 0:
+        raise ValueError("noise_var must be non-negative")
+    if group_data_size <= 0:
+        raise ValueError("group_data_size must be positive")
+    numerator = sigma**2 * model_bound**2 + noise_var / group_data_size**2
+    return float((numerator / (sigma * model_bound**2)) ** 2)
+
+
+def feasible_sigma(
+    eta: float,
+    model_bound: float,
+    data_sizes: Sequence[float],
+    channel_gains: Sequence[float],
+    energy_budgets: Sequence[float],
+) -> float:
+    """σ minimizing C_t for a fixed η while respecting energy budgets (Eq. 47)."""
+    if eta <= 0:
+        raise ValueError("eta must be positive")
+    if model_bound <= 0:
+        raise ValueError("model_bound must be positive")
+    sizes = np.asarray(data_sizes, dtype=np.float64)
+    gains = np.asarray(channel_gains, dtype=np.float64)
+    budgets = np.asarray(energy_budgets, dtype=np.float64)
+    if not (sizes.shape == gains.shape == budgets.shape):
+        raise ValueError("data_sizes, channel_gains and energy_budgets must align")
+    if sizes.size == 0:
+        raise ValueError("at least one worker required")
+    if np.any(sizes <= 0) or np.any(gains <= 0) or np.any(budgets <= 0):
+        raise ValueError("sizes, gains and budgets must be positive")
+    caps = gains * np.sqrt(budgets) / (sizes * model_bound)
+    return float(min(np.sqrt(eta), caps.min()))
+
+
+def solve_power_control(
+    data_sizes: Sequence[float],
+    channel_gains: Sequence[float],
+    model_bound: float,
+    config: AirCompConfig,
+    energy_budgets: Sequence[float] | None = None,
+    initial_sigma: float | None = None,
+) -> PowerControlResult:
+    """Run Algorithm 2 for one round / one participating group.
+
+    Parameters
+    ----------
+    data_sizes:
+        ``d_i`` for the participating workers.
+    channel_gains:
+        ``h_i^t`` for the participating workers this round.
+    model_bound:
+        ``W_t`` — an upper bound on the local model norms (the trainers pass
+        the current global-model norm, which tracks it closely).
+    config:
+        Physical-layer configuration (noise variance, budgets, tolerances).
+    energy_budgets:
+        Per-worker budgets ``Ê_i``; defaults to ``config.energy_budget_j``
+        for every worker.
+    initial_sigma:
+        Starting point of the alternation; defaults to the energy-budget cap
+        (the largest feasible σ).
+    """
+    sizes = np.asarray(data_sizes, dtype=np.float64)
+    gains = np.asarray(channel_gains, dtype=np.float64)
+    if sizes.shape != gains.shape or sizes.size == 0:
+        raise ValueError("data_sizes and channel_gains must be non-empty and aligned")
+    if np.any(sizes <= 0) or np.any(gains <= 0):
+        raise ValueError("data sizes and channel gains must be positive")
+    if model_bound <= 0:
+        raise ValueError("model_bound must be positive")
+    if energy_budgets is None:
+        budgets = np.full(sizes.shape, config.energy_budget_j)
+    else:
+        budgets = np.asarray(energy_budgets, dtype=np.float64)
+        if budgets.shape != sizes.shape:
+            raise ValueError("energy_budgets must align with data_sizes")
+        if np.any(budgets <= 0):
+            raise ValueError("energy budgets must be positive")
+
+    group_size = float(sizes.sum())
+    noise_var = config.noise_variance
+    caps = gains * np.sqrt(budgets) / (sizes * model_bound)
+    sigma_cap = float(caps.min())
+
+    sigma = float(initial_sigma) if initial_sigma is not None else sigma_cap
+    if sigma <= 0:
+        raise ValueError("initial sigma must be positive")
+    sigma = min(sigma, sigma_cap)
+    eta = optimal_eta(sigma, model_bound, noise_var, group_size)
+
+    history: List[tuple] = []
+    converged = False
+    iterations = 0
+    for iterations in range(1, config.power_control_max_iters + 1):
+        prev_sigma, prev_eta = sigma, eta
+        eta = optimal_eta(sigma, model_bound, noise_var, group_size)
+        sigma = feasible_sigma(eta, model_bound, sizes, gains, budgets)
+        c = aggregation_error_term(sigma, eta, model_bound, noise_var, group_size)
+        history.append((sigma, eta, c))
+        rel_sigma = abs(sigma - prev_sigma) / max(abs(sigma), 1e-300)
+        rel_eta = abs(eta - prev_eta) / max(abs(eta), 1e-300)
+        if rel_sigma <= config.power_control_tolerance and rel_eta <= config.power_control_tolerance:
+            converged = True
+            break
+
+    error = aggregation_error_term(sigma, eta, model_bound, noise_var, group_size)
+    return PowerControlResult(
+        sigma=float(sigma),
+        eta=float(eta),
+        error_term=float(error),
+        iterations=iterations,
+        converged=converged,
+        sigma_cap=sigma_cap,
+        history=history,
+    )

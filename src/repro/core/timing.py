@@ -1,0 +1,146 @@
+"""Training-time model of Section V-A (Eqs. 33-35 and 39).
+
+These closed-form estimates drive problem P2/P4 and the greedy grouping
+algorithm:
+
+* ``L_u = (q / R) · L_s`` — model-upload latency of one over-the-air
+  aggregation (Eq. 33), independent of how many workers transmit.
+* ``L_j = max_{v_i ∈ V_j} l_i + L_u`` — completion time of group ``j``
+  (Eq. 34): the group waits for its slowest member, then uploads.
+* ``L ≈ 1 / Σ_j (1 / L_j)`` — average duration of one *global* round when
+  groups participate asynchronously (Eq. 35): the global-update rate is the
+  sum of the per-group rates.
+* ``ψ_j = (1/L_j) / Σ_{j'} (1/L_{j'})`` — relative participation frequency
+  of group ``j`` (used in Theorem 1 and the objective of P2).
+* ``τ̂_max = L_max · Σ_j (1/L_j)`` — estimate of the maximum staleness
+  (Eq. 39): while the slowest group completes one round, the whole system
+  performs roughly this many global updates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..channel.aircomp import aircomp_latency
+
+__all__ = [
+    "GroupTiming",
+    "group_completion_time",
+    "average_round_time",
+    "participation_frequencies",
+    "estimated_max_staleness",
+]
+
+
+def group_completion_time(
+    local_times: Sequence[float], upload_latency: float
+) -> float:
+    """``L_j = max_i l_i + L_u`` for one group (Eq. 34)."""
+    times = np.asarray(local_times, dtype=np.float64)
+    if times.size == 0:
+        raise ValueError("group must contain at least one worker")
+    if np.any(times <= 0):
+        raise ValueError("local training times must be positive")
+    if upload_latency < 0:
+        raise ValueError("upload latency must be non-negative")
+    return float(times.max() + upload_latency)
+
+
+def average_round_time(group_times: Sequence[float]) -> float:
+    """``L ≈ 1 / Σ_j 1/L_j`` (Eq. 35): harmonic combination of group rates."""
+    times = np.asarray(group_times, dtype=np.float64)
+    if times.size == 0:
+        raise ValueError("at least one group required")
+    if np.any(times <= 0):
+        raise ValueError("group completion times must be positive")
+    return float(1.0 / np.sum(1.0 / times))
+
+
+def participation_frequencies(group_times: Sequence[float]) -> np.ndarray:
+    """``ψ_j ∝ 1/L_j`` normalized to sum to one."""
+    times = np.asarray(group_times, dtype=np.float64)
+    if times.size == 0:
+        raise ValueError("at least one group required")
+    if np.any(times <= 0):
+        raise ValueError("group completion times must be positive")
+    rates = 1.0 / times
+    return rates / rates.sum()
+
+
+def estimated_max_staleness(group_times: Sequence[float]) -> float:
+    """``τ̂_max = L_max · Σ_j 1/L_j`` (Eq. 39).
+
+    With a single group this evaluates to 1 global update per group round,
+    i.e. staleness ≈ 1·L_max/L_max = 1; the paper's convention has
+    ``τ_max = 0`` for M = 1, so callers using the Theorem-1 exponent should
+    subtract the self-update (see :func:`GroupTiming.tau_max_estimate`).
+    """
+    times = np.asarray(group_times, dtype=np.float64)
+    if times.size == 0:
+        raise ValueError("at least one group required")
+    if np.any(times <= 0):
+        raise ValueError("group completion times must be positive")
+    return float(times.max() * np.sum(1.0 / times))
+
+
+@dataclass
+class GroupTiming:
+    """Bundled timing quantities for a concrete grouping.
+
+    Parameters
+    ----------
+    group_local_times:
+        Per-group lists of member local-training times ``l_i``.
+    model_dimension, num_subchannels, symbol_duration:
+        Parameters of the AirComp upload latency (Eq. 33).
+    """
+
+    group_local_times: List[List[float]]
+    model_dimension: int
+    num_subchannels: int
+    symbol_duration: float
+
+    def __post_init__(self) -> None:
+        if not self.group_local_times:
+            raise ValueError("at least one group required")
+        self._upload = aircomp_latency(
+            self.model_dimension, self.num_subchannels, self.symbol_duration
+        )
+        self._group_times = np.array(
+            [
+                group_completion_time(times, self._upload)
+                for times in self.group_local_times
+            ]
+        )
+
+    @property
+    def upload_latency(self) -> float:
+        """``L_u`` (Eq. 33)."""
+        return self._upload
+
+    @property
+    def group_times(self) -> np.ndarray:
+        """``L_j`` for every group (Eq. 34)."""
+        return self._group_times.copy()
+
+    @property
+    def round_time(self) -> float:
+        """``L`` (Eq. 35)."""
+        return average_round_time(self._group_times)
+
+    @property
+    def frequencies(self) -> np.ndarray:
+        """``ψ_j`` participation frequencies."""
+        return participation_frequencies(self._group_times)
+
+    def tau_max_estimate(self) -> float:
+        """Staleness estimate used in the P2 objective.
+
+        Uses Eq. (39) minus the group's own update so that a single-group
+        system has ``τ̂_max = 0`` as in Corollary 2.
+        """
+        raw = estimated_max_staleness(self._group_times)
+        return max(0.0, raw - 1.0)

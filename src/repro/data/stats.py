@@ -1,0 +1,125 @@
+"""Label-distribution statistics: EMD and grouping-level aggregates.
+
+The convergence bound of Theorem 1 depends on the earth mover distance
+(EMD, Eq. (11)) between each group's label distribution β_j^k and the global
+label distribution λ_k:
+
+    Λ_j = EMD(D, D_j) = Σ_k | λ_k − β_j^k |.
+
+Table III of the paper reports the *average* EMD across groups for three
+grouping strategies (Original = every worker its own group, TiFL, Air-FedGA).
+These helpers compute all the ingredients from a :class:`~repro.data.partition.Partition`
+plus a group assignment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from .partition import Partition
+
+__all__ = [
+    "emd",
+    "group_class_counts",
+    "group_distributions",
+    "group_data_sizes",
+    "group_emds",
+    "average_emd",
+    "worker_emds",
+]
+
+
+def emd(p: np.ndarray, q: np.ndarray) -> float:
+    """Earth mover distance between two discrete label distributions.
+
+    Following Eq. (11) of the paper (and Zhao et al. 2018), this is the L1
+    distance between the probability vectors, not the transport-problem EMD.
+    """
+    p = np.asarray(p, dtype=np.float64)
+    q = np.asarray(q, dtype=np.float64)
+    if p.shape != q.shape:
+        raise ValueError(f"distribution shapes differ: {p.shape} vs {q.shape}")
+    if p.ndim != 1:
+        raise ValueError("distributions must be 1-D")
+    for name, v in (("p", p), ("q", q)):
+        if np.any(v < -1e-12):
+            raise ValueError(f"{name} has negative entries")
+        total = v.sum()
+        if total <= 0:
+            raise ValueError(f"{name} does not sum to a positive value")
+    p = p / p.sum()
+    q = q / q.sum()
+    return float(np.abs(p - q).sum())
+
+
+def _validate_groups(groups: Sequence[Sequence[int]], num_workers: int) -> None:
+    seen: set[int] = set()
+    for g, members in enumerate(groups):
+        for w in members:
+            if not 0 <= w < num_workers:
+                raise ValueError(f"group {g} references invalid worker {w}")
+            if w in seen:
+                raise ValueError(f"worker {w} appears in more than one group")
+            seen.add(w)
+
+
+def group_class_counts(
+    partition: Partition, groups: Sequence[Sequence[int]]
+) -> np.ndarray:
+    """Per-group per-class sample counts ``D_j^k`` (shape: groups x classes)."""
+    _validate_groups(groups, partition.num_workers)
+    worker_counts = partition.class_counts()
+    out = np.zeros((len(groups), partition.num_classes), dtype=np.int64)
+    for g, members in enumerate(groups):
+        if members:
+            out[g] = worker_counts[np.asarray(list(members), dtype=np.int64)].sum(axis=0)
+    return out
+
+
+def group_data_sizes(
+    partition: Partition, groups: Sequence[Sequence[int]]
+) -> np.ndarray:
+    """Per-group data sizes ``D_j``."""
+    return group_class_counts(partition, groups).sum(axis=1)
+
+
+def group_distributions(
+    partition: Partition, groups: Sequence[Sequence[int]]
+) -> np.ndarray:
+    """Per-group label distributions ``β_j^k`` (uniform for empty groups)."""
+    counts = group_class_counts(partition, groups).astype(np.float64)
+    sizes = counts.sum(axis=1, keepdims=True)
+    dist = np.full_like(counts, 1.0 / partition.num_classes)
+    nonzero = sizes[:, 0] > 0
+    dist[nonzero] = counts[nonzero] / sizes[nonzero]
+    return dist
+
+
+def group_emds(
+    partition: Partition, groups: Sequence[Sequence[int]]
+) -> np.ndarray:
+    """Per-group EMD values ``Λ_j`` against the global distribution."""
+    global_dist = partition.global_distribution()
+    dists = group_distributions(partition, groups)
+    return np.abs(dists - global_dist).sum(axis=1)
+
+
+def average_emd(
+    partition: Partition, groups: Sequence[Sequence[int]]
+) -> float:
+    """Average EMD across groups (the quantity reported in Table III)."""
+    if len(groups) == 0:
+        raise ValueError("no groups given")
+    return float(group_emds(partition, groups).mean())
+
+
+def worker_emds(partition: Partition) -> np.ndarray:
+    """Per-worker EMD against the global distribution.
+
+    This corresponds to the "Original" column of Table III, where every
+    worker is its own group.
+    """
+    singleton_groups: List[List[int]] = [[i] for i in range(partition.num_workers)]
+    return group_emds(partition, singleton_groups)

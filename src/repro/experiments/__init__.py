@@ -1,0 +1,51 @@
+"""Experiment harness reproducing the paper's tables and figures."""
+
+from .configs import (
+    EXPERIMENT_CONFIGS,
+    ExperimentConfig,
+    cnn_cifar10_config,
+    cnn_mnist_config,
+    lr_mnist_config,
+    vgg_imagenet100_config,
+)
+from .runner import ExperimentRun, build_experiment, run_comparison, run_mechanism
+from .figures import (
+    ALL_MECHANISMS,
+    AIRCOMP_MECHANISMS,
+    energy_vs_accuracy,
+    grouping_boxplot_data,
+    loss_accuracy_vs_time,
+    scalability_sweep,
+    xi_sweep,
+)
+from .tables import emd_comparison, mechanism_comparison
+from .reporting import format_float, format_mapping, format_series, format_table
+from .cli import EXPERIMENTS, run_experiment
+
+__all__ = [
+    "ExperimentConfig",
+    "EXPERIMENT_CONFIGS",
+    "lr_mnist_config",
+    "cnn_mnist_config",
+    "cnn_cifar10_config",
+    "vgg_imagenet100_config",
+    "ExperimentRun",
+    "build_experiment",
+    "run_mechanism",
+    "run_comparison",
+    "loss_accuracy_vs_time",
+    "grouping_boxplot_data",
+    "xi_sweep",
+    "energy_vs_accuracy",
+    "scalability_sweep",
+    "AIRCOMP_MECHANISMS",
+    "ALL_MECHANISMS",
+    "emd_comparison",
+    "mechanism_comparison",
+    "format_table",
+    "format_series",
+    "format_mapping",
+    "format_float",
+    "EXPERIMENTS",
+    "run_experiment",
+]

@@ -1,0 +1,215 @@
+"""Command-line driver for the reproduction experiments.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments run fig3 --output results/fig3
+    python -m repro.experiments run table3
+    python -m repro.experiments compare lr_mnist --mechanisms air_fedga air_fedavg
+
+``run`` executes the benchmark-scale version of one paper artefact (the same
+configurations used by ``benchmarks/``) and writes the resulting series to
+JSON (plus per-mechanism CSVs for the figure experiments) so they can be
+plotted externally.  ``compare`` runs an ad-hoc mechanism comparison on one
+of the four registered workloads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .configs import EXPERIMENT_CONFIGS
+from .figures import (
+    AIRCOMP_MECHANISMS,
+    ALL_MECHANISMS,
+    energy_vs_accuracy,
+    grouping_boxplot_data,
+    scalability_sweep,
+    xi_sweep,
+)
+from .runner import run_comparison
+from .tables import emd_comparison, mechanism_comparison
+from .reporting import format_table
+
+__all__ = ["EXPERIMENTS", "main", "run_experiment"]
+
+
+def _jsonable(obj):
+    """Recursively convert NumPy scalars/arrays so json.dumps accepts them."""
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (np.floating, np.integer)):
+        return obj.item()
+    return obj
+
+
+# ----------------------------------------------------------------------
+# Experiment dispatch table
+# ----------------------------------------------------------------------
+def _figure_comparison(config_name: str, mechanisms: Sequence[str]):
+    def run(scale: float = 1.0) -> Dict[str, object]:
+        config = EXPERIMENT_CONFIGS[config_name]()
+        if config.max_time is None:
+            config = config.scaled(max_time=1500.0 * scale)
+        run_result = run_comparison(config, mechanisms=mechanisms)
+        return {
+            name: {
+                "time": history.times().tolist(),
+                "loss": history.losses().tolist(),
+                "accuracy": history.accuracies().tolist(),
+                "summary": history.summary(),
+            }
+            for name, history in run_result.histories.items()
+        }
+
+    return run
+
+
+EXPERIMENTS: Dict[str, Callable[..., Dict[str, object]]] = {
+    "fig3": _figure_comparison("lr_mnist", AIRCOMP_MECHANISMS),
+    "fig4": _figure_comparison("cnn_mnist", AIRCOMP_MECHANISMS),
+    "fig5": _figure_comparison("cnn_cifar10", AIRCOMP_MECHANISMS),
+    "fig6": _figure_comparison("vgg_imagenet100", AIRCOMP_MECHANISMS),
+    "fig7": lambda scale=1.0: {
+        "groups": grouping_boxplot_data(num_workers=int(100 * min(scale, 1.0)) or 20)
+    },
+    "fig8": lambda scale=1.0: {
+        "xi_sweep": xi_sweep(
+            EXPERIMENT_CONFIGS["lr_mnist"]().scaled(max_time=1500.0 * scale),
+            xi_values=(0.0, 0.3, 1.0),
+        )
+    },
+    "fig9": lambda scale=1.0: {
+        "energy": energy_vs_accuracy(
+            EXPERIMENT_CONFIGS["cnn_mnist"]().scaled(max_time=1500.0 * scale)
+        )
+    },
+    "fig10": lambda scale=1.0: {
+        "scalability": scalability_sweep(
+            EXPERIMENT_CONFIGS["lr_mnist"]().scaled(max_time=1000.0 * scale),
+            worker_counts=(10, 20, 40),
+            mechanisms=ALL_MECHANISMS,
+        )
+    },
+    "table1": lambda scale=1.0: {"mechanisms": mechanism_comparison()},
+    "table3": lambda scale=1.0: {"emd": emd_comparison()},
+}
+
+
+def run_experiment(
+    name: str, output: Optional[str] = None, scale: float = 1.0
+) -> Dict[str, object]:
+    """Run one registered experiment and optionally persist its results."""
+    try:
+        fn = EXPERIMENTS[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}"
+        ) from exc
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    results = _jsonable(fn(scale=scale))
+    if output is not None:
+        out_dir = Path(output)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        (out_dir / f"{name}.json").write_text(json.dumps(results, indent=2))
+    return results
+
+
+# ----------------------------------------------------------------------
+# CLI plumbing
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments",
+        description="Reproduce the tables and figures of the Air-FedGA paper.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments and workloads")
+
+    run_p = sub.add_parser("run", help="run one experiment (fig3..fig10, table1, table3)")
+    run_p.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run_p.add_argument("--output", "-o", default=None, help="directory for JSON results")
+    run_p.add_argument(
+        "--scale", type=float, default=1.0,
+        help="time-budget multiplier (>1 runs longer, closer to the paper scale)",
+    )
+
+    cmp_p = sub.add_parser("compare", help="compare mechanisms on one workload")
+    cmp_p.add_argument("workload", choices=sorted(EXPERIMENT_CONFIGS))
+    cmp_p.add_argument(
+        "--mechanisms", nargs="+", default=list(AIRCOMP_MECHANISMS),
+        choices=sorted(ALL_MECHANISMS),
+    )
+    cmp_p.add_argument("--max-time", type=float, default=1500.0)
+    cmp_p.add_argument("--workers", type=int, default=None)
+    cmp_p.add_argument("--output", "-o", default=None)
+    return parser
+
+
+def _command_list() -> str:
+    lines = ["Experiments (run):"]
+    for name in sorted(EXPERIMENTS):
+        lines.append(f"  {name}")
+    lines.append("Workloads (compare):")
+    for name in sorted(EXPERIMENT_CONFIGS):
+        lines.append(f"  {name}")
+    return "\n".join(lines)
+
+
+def _command_compare(args: argparse.Namespace) -> str:
+    config = EXPERIMENT_CONFIGS[args.workload]()
+    overrides = {"max_time": args.max_time}
+    if args.workers is not None:
+        overrides["num_workers"] = args.workers
+    config = config.scaled(**overrides)
+    run = run_comparison(config, mechanisms=args.mechanisms)
+    rows = []
+    for name, history in run.histories.items():
+        rows.append(
+            (
+                name,
+                history.total_rounds,
+                history.average_round_time(),
+                history.final_accuracy,
+                history.total_energy,
+            )
+        )
+        if args.output:
+            out_dir = Path(args.output)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            history.save_json(out_dir / f"{args.workload}_{name}.json")
+            history.save_csv(out_dir / f"{args.workload}_{name}.csv")
+    return format_table(
+        ["mechanism", "rounds", "avg round (s)", "final acc", "energy (J)"],
+        rows,
+        title=f"Comparison on {args.workload} ({config.num_workers} workers)",
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point used by ``python -m repro.experiments``."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        print(_command_list())
+        return 0
+    if args.command == "run":
+        results = run_experiment(args.experiment, output=args.output, scale=args.scale)
+        print(json.dumps(results, indent=2)[:2000])
+        if args.output:
+            print(f"\nfull results written to {Path(args.output) / (args.experiment + '.json')}")
+        return 0
+    if args.command == "compare":
+        print(_command_compare(args))
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

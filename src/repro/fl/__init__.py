@@ -1,0 +1,26 @@
+"""Federated-learning mechanisms: the Air-FedGA trainer and its baselines."""
+
+from .base import BaseTrainer, FLExperiment
+from .history import RoundRecord, TrainingHistory
+from .fedavg import FedAvgTrainer
+from .air_fedavg import AirFedAvgTrainer
+from .dynamic import DynamicTrainer
+from .grouped import GroupedAsyncTrainer
+from .tifl import TiFLTrainer
+from .air_fedga import AirFedGATrainer
+from .registry import MECHANISMS, build_trainer
+
+__all__ = [
+    "FLExperiment",
+    "BaseTrainer",
+    "RoundRecord",
+    "TrainingHistory",
+    "FedAvgTrainer",
+    "AirFedAvgTrainer",
+    "DynamicTrainer",
+    "GroupedAsyncTrainer",
+    "TiFLTrainer",
+    "AirFedGATrainer",
+    "MECHANISMS",
+    "build_trainer",
+]

@@ -1,0 +1,57 @@
+"""Air-FedAvg baseline: synchronous FL with over-the-air aggregation.
+
+Reference [18] of the paper (Cao et al., JSAC 2022): the FedAvg schedule —
+every worker participates in every round — but uploads happen concurrently
+over the analog MAC with optimal power control.  The upload latency is the
+AirComp symbol time ``L_u`` regardless of the number of workers, so the
+single-round time is dominated by the *slowest* worker's local training
+(straggler problem remains, which is what Air-FedGA improves on).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .base import BaseTrainer, FLExperiment
+from .history import TrainingHistory
+
+__all__ = ["AirFedAvgTrainer"]
+
+
+class AirFedAvgTrainer(BaseTrainer):
+    """Synchronous over-the-air federated averaging over all workers."""
+
+    name = "air_fedavg"
+
+    def run(
+        self, max_rounds: int = 100, max_time: Optional[float] = None
+    ) -> TrainingHistory:
+        exp = self.exp
+        all_workers = list(range(exp.num_workers))
+        upload_latency = self.aircomp_upload_latency()
+        clock = 0.0
+        self.record_round(round_index=0, time=0.0, num_participants=0, force_eval=True)
+        for t in range(1, max_rounds + 1):
+            local_vectors = [
+                self.local_update(w, self.global_vector, t) for w in all_workers
+            ]
+            compute_time = max(
+                exp.latency.sample_time(w, t) for w in all_workers
+            )
+            clock += compute_time + upload_latency
+            self.global_vector, info = self.aircomp_group_update(
+                all_workers, local_vectors, t
+            )
+            self.record_round(
+                round_index=t,
+                time=clock,
+                staleness=0,
+                group_id=-1,
+                num_participants=len(all_workers),
+                round_energy=info["round_energy_j"],
+                sigma=info["sigma"],
+                eta=info["eta"],
+            )
+            if max_time is not None and clock >= max_time:
+                break
+        return self.history

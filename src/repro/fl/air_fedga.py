@@ -1,0 +1,137 @@
+"""Air-FedGA: the paper's mechanism — grouped asynchronous over-the-air FL.
+
+This trainer wires together the three contributions:
+
+* **worker grouping** (Algorithm 3, :func:`repro.core.grouping.greedy_grouping`)
+  — groups are formed so that members have similar local-training times
+  (constraint 36d) while the inter-group label distributions are pushed
+  toward IID (Corollary 1), minimizing the P4 objective;
+* **power control** (Algorithm 2) — each over-the-air aggregation uses the
+  σ_t/η_t pair minimizing the aggregation-error term C_t under the
+  per-worker energy budgets (this happens inside
+  :meth:`~repro.fl.base.BaseTrainer.aircomp_group_update`);
+* **grouping-asynchronous updates** (Algorithm 1) — the event loop of
+  :class:`~repro.fl.grouped.GroupedAsyncTrainer` driven by the
+  READY/EXECUTE protocol state machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.grouping import (
+    GroupingProblem,
+    GroupingResult,
+    greedy_grouping,
+    random_grouping,
+    singleton_grouping,
+    tier_grouping,
+)
+from ..core.power_control import solve_power_control
+from .base import FLExperiment
+from .grouped import GroupedAsyncTrainer
+
+__all__ = ["AirFedGATrainer"]
+
+
+class AirFedGATrainer(GroupedAsyncTrainer):
+    """The Air-FedGA mechanism (Algorithm 1 + Algorithms 2 and 3)."""
+
+    name = "air_fedga"
+
+    def __init__(
+        self,
+        experiment: FLExperiment,
+        grouping_strategy: str = "greedy",
+        num_groups: Optional[int] = None,
+        grouping_seed: int = 0,
+        staleness_exponent: float = 0.0,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        experiment:
+            The federated experiment definition.
+        grouping_strategy:
+            ``"greedy"`` (the paper's Algorithm 3, default), ``"tier"``,
+            ``"random"`` or ``"singleton"``.  The alternatives exist for the
+            grouping ablation (E-A2 in DESIGN.md).
+        num_groups:
+            Group count for the ``tier``/``random`` strategies (ignored by
+            ``greedy``/``singleton``).
+        grouping_seed:
+            Seed for the ``random`` strategy.
+        staleness_exponent:
+            Optional staleness-aware damping of stale group updates
+            (extension; 0.0 reproduces the paper's Eq. (10) exactly).
+        """
+        if grouping_strategy not in {"greedy", "tier", "random", "singleton"}:
+            raise ValueError(f"unknown grouping strategy {grouping_strategy!r}")
+        self.grouping_strategy = grouping_strategy
+        self.num_groups_hint = num_groups
+        self.grouping_seed = grouping_seed
+        super().__init__(experiment, staleness_exponent=staleness_exponent)
+
+    # ------------------------------------------------------------------
+    def build_groups(self) -> List[List[int]]:
+        exp = self.exp
+        # Estimate the power-control error term once, on a representative
+        # round, so the grouping objective accounts for the channel noise
+        # floor (the paper determines σ*, η* before solving P4).
+        gains = exp.channel.gains(0)
+        sizes = exp.partition.data_sizes().astype(np.float64)
+        sizes = np.maximum(sizes, 1e-9)
+        model_bound = max(float(np.linalg.norm(self.global_vector)), 1e-8)
+        # Same per-entry noise calibration as the trainer's aggregation step
+        # (the paper's σ₀² spread over the q model symbols).
+        per_entry_noise_var = exp.config.aircomp.noise_variance / float(
+            self.latency_dimension
+        )
+        pc = solve_power_control(
+            data_sizes=sizes,
+            channel_gains=gains,
+            model_bound=model_bound,
+            config=replace(exp.config.aircomp, noise_variance=per_entry_noise_var),
+        )
+        problem = GroupingProblem(
+            data_sizes=sizes,
+            class_counts=exp.partition.class_counts(),
+            local_times=exp.latency.nominal_times(),
+            model_dimension=self.latency_dimension,
+            config=exp.config,
+            c_max=pc.error_term,
+        )
+        if self.grouping_strategy == "greedy":
+            result = greedy_grouping(problem)
+        elif self.grouping_strategy == "tier":
+            result = tier_grouping(
+                problem, num_groups=self.num_groups_hint or max(1, exp.num_workers // 10)
+            )
+        elif self.grouping_strategy == "random":
+            result = random_grouping(
+                problem,
+                num_groups=self.num_groups_hint or max(1, exp.num_workers // 10),
+                seed=self.grouping_seed,
+            )
+        else:  # singleton
+            result = singleton_grouping(problem)
+        self.grouping_result: GroupingResult = result
+        return [list(g) for g in result.groups]
+
+    # ------------------------------------------------------------------
+    def aggregate_group(
+        self,
+        group_id: int,
+        member_ids: Sequence[int],
+        local_vectors: Sequence[np.ndarray],
+        round_index: int,
+    ) -> Tuple[np.ndarray, Dict[str, float]]:
+        return self.aircomp_group_update(member_ids, local_vectors, round_index)
+
+    def upload_time(self, member_ids: Sequence[int], round_index: int) -> float:
+        # Over-the-air aggregation: the whole group transmits concurrently,
+        # so the upload latency is L_u regardless of the group size (Eq. 33).
+        return self.aircomp_upload_latency()

@@ -1,0 +1,340 @@
+"""Federated-learning experiment plumbing shared by all mechanisms.
+
+An :class:`FLExperiment` bundles everything a mechanism needs: the dataset
+and its partition across workers, a model factory, the compute-latency
+table (edge heterogeneity), the wireless channel model and the Air-FedGA
+configuration.  :class:`BaseTrainer` provides the operations every
+mechanism reuses:
+
+* ``local_update`` — the worker-side update of Eq. (4)/(5): load a global
+  model version, run local mini-batch SGD on the worker's own data and
+  return the new local model vector;
+* ``evaluate`` — global test loss/accuracy of a model vector;
+* ``aircomp_group_update`` — one over-the-air aggregation with power
+  control (Eqs. 6-10 + Algorithm 2), returning the new global model and
+  the per-worker transmit energies;
+* ``exact_group_update`` — the error-free OMA counterpart (Eq. 8).
+
+The concrete mechanisms (FedAvg, TiFL, Air-FedAvg, Dynamic, Air-FedGA)
+compose these pieces with their own scheduling logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..channel.aircomp import aircomp_aggregate, aircomp_latency
+from ..channel.energy import EnergyTracker
+from ..channel.fading import ChannelModel
+from ..channel.oma import OMAConfig, tdma_round_time
+from ..core.config import AirFedGAConfig
+from ..core.power_control import solve_power_control
+from ..data.partition import Partition
+from ..data.synthetic import Dataset
+from ..nn.models import Model
+from ..nn.optim import SGD
+from ..sim.latency import LatencyTable
+from .history import RoundRecord, TrainingHistory
+
+__all__ = ["FLExperiment", "BaseTrainer"]
+
+
+@dataclass
+class FLExperiment:
+    """Everything needed to run one federated-training simulation.
+
+    Attributes
+    ----------
+    dataset, partition:
+        Training data and its assignment to workers.
+    model_factory:
+        Zero-argument callable constructing the (identically initialized)
+        model.  Every mechanism starts from the same global model.
+    latency:
+        Per-worker simulated local-training times (edge heterogeneity).
+    channel:
+        Block-fading channel model producing per-round gains.
+    config:
+        Air-FedGA configuration (AirComp physical layer, grouping ξ,
+        convergence constants).
+    learning_rate, local_steps, batch_size:
+        Worker-side SGD hyper-parameters (Eq. 4 uses one full-gradient step;
+        ``local_steps`` mini-batch steps is the practical equivalent).
+    eval_every:
+        Evaluate the global model every this many global updates.
+    max_eval_samples:
+        Cap on the number of test samples used per evaluation (speed).
+    seed:
+        Base seed for batch sampling and channel noise.
+    """
+
+    dataset: Dataset
+    partition: Partition
+    model_factory: Callable[[], Model]
+    latency: LatencyTable
+    channel: ChannelModel
+    config: AirFedGAConfig = field(default_factory=AirFedGAConfig)
+    learning_rate: float = 0.1
+    local_steps: int = 2
+    batch_size: int = 32
+    eval_every: int = 1
+    max_eval_samples: int = 512
+    seed: int = 0
+    oma: OMAConfig = field(default_factory=OMAConfig)
+    #: Model dimension used for *latency/energy* computations.  The paper's
+    #: models have 10^5-10^8 parameters; the NumPy substrate trains scaled
+    #: down versions, so experiments can pass the paper-scale dimension here
+    #: to keep the communication-time model faithful while the learning part
+    #: stays tractable.  ``None`` means "use the trained model's dimension".
+    latency_model_dimension: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.partition.num_workers != self.latency.num_workers:
+            raise ValueError(
+                "partition and latency table disagree on the number of workers"
+            )
+        if self.partition.num_workers != self.channel.num_workers:
+            raise ValueError(
+                "partition and channel model disagree on the number of workers"
+            )
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if self.local_steps < 1:
+            raise ValueError("local_steps must be >= 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.eval_every < 1:
+            raise ValueError("eval_every must be >= 1")
+        if self.max_eval_samples < 1:
+            raise ValueError("max_eval_samples must be >= 1")
+        if self.latency_model_dimension is not None and self.latency_model_dimension <= 0:
+            raise ValueError("latency_model_dimension must be positive when given")
+
+    @property
+    def num_workers(self) -> int:
+        return self.partition.num_workers
+
+
+class BaseTrainer:
+    """Shared machinery for all federated mechanisms."""
+
+    #: registry name, overridden by subclasses
+    name = "base"
+
+    def __init__(self, experiment: FLExperiment) -> None:
+        self.exp = experiment
+        self.model: Model = experiment.model_factory()
+        self.global_vector: np.ndarray = self.model.get_vector()
+        self.data_sizes: np.ndarray = experiment.partition.data_sizes().astype(np.float64)
+        if np.any(self.data_sizes <= 0):
+            # Workers with no data cannot contribute gradients; give them a
+            # negligible weight so the α_i normalisation stays well defined.
+            self.data_sizes = np.maximum(self.data_sizes, 1e-9)
+        self.total_data: float = float(self.data_sizes.sum())
+        self.alphas: np.ndarray = self.data_sizes / self.total_data
+        self.history = TrainingHistory(mechanism=self.name)
+        self.energy = EnergyTracker(num_workers=experiment.num_workers)
+        self._noise_rng = np.random.default_rng(
+            np.random.SeedSequence([experiment.seed, 0xA17])
+        )
+        self._cumulative_energy = 0.0
+        # Pre-compute worker training subsets (views into the dataset).
+        self._worker_data: List[Tuple[np.ndarray, np.ndarray]] = []
+        for i in range(experiment.num_workers):
+            idx = experiment.partition.worker_indices(i)
+            self._worker_data.append(experiment.dataset.subset(idx))
+        # Evaluation subset (fixed across rounds for comparability).
+        eval_rng = np.random.default_rng(np.random.SeedSequence([experiment.seed, 0xE7A1]))
+        n_test = experiment.dataset.num_test
+        take = min(experiment.max_eval_samples, n_test)
+        eval_idx = eval_rng.choice(n_test, size=take, replace=False)
+        self._eval_x = experiment.dataset.x_test[eval_idx]
+        self._eval_y = experiment.dataset.y_test[eval_idx]
+
+    # ------------------------------------------------------------------
+    # Worker-side local update (Eq. 4/5)
+    # ------------------------------------------------------------------
+    def local_update(
+        self, worker_id: int, base_vector: np.ndarray, round_index: int
+    ) -> np.ndarray:
+        """Run the worker's local SGD starting from ``base_vector``.
+
+        Returns a fresh flat vector; ``base_vector`` is not modified.
+        """
+        x, y = self._worker_data[worker_id]
+        if x.shape[0] == 0:
+            # A worker with no data returns the model unchanged.
+            return base_vector.copy()
+        self.model.set_vector(base_vector)
+        optimizer = SGD(self.model.parameters, lr=self.exp.learning_rate)
+        rng = np.random.default_rng(
+            np.random.SeedSequence([self.exp.seed, worker_id, round_index, 0x10CA1])
+        )
+        n = x.shape[0]
+        batch = min(self.exp.batch_size, n)
+        for _ in range(self.exp.local_steps):
+            idx = rng.choice(n, size=batch, replace=False)
+            optimizer.zero_grad()
+            self.model.loss_and_grad(x[idx], y[idx])
+            optimizer.step()
+        return self.model.get_vector()
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate_vector(self, vector: np.ndarray) -> Tuple[float, float]:
+        """Global test (loss, accuracy) of a flat model vector."""
+        self.model.set_vector(vector)
+        return self.model.evaluate(self._eval_x, self._eval_y)
+
+    def record_round(
+        self,
+        round_index: int,
+        time: float,
+        staleness: int = 0,
+        group_id: int = -1,
+        num_participants: int = 0,
+        round_energy: float = 0.0,
+        sigma: float = float("nan"),
+        eta: float = float("nan"),
+        force_eval: bool = False,
+    ) -> Optional[RoundRecord]:
+        """Evaluate and append a history record if this round is sampled."""
+        self._cumulative_energy += round_energy
+        if not force_eval and round_index % self.exp.eval_every != 0:
+            return None
+        loss, acc = self.evaluate_vector(self.global_vector)
+        record = RoundRecord(
+            round_index=round_index,
+            time=time,
+            loss=loss,
+            accuracy=acc,
+            staleness=staleness,
+            group_id=group_id,
+            num_participants=num_participants,
+            round_energy_j=round_energy,
+            cumulative_energy_j=self._cumulative_energy,
+            sigma=sigma,
+            eta=eta,
+        )
+        self.history.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    # Aggregation primitives
+    # ------------------------------------------------------------------
+    def exact_group_update(
+        self, member_ids: Sequence[int], local_vectors: Sequence[np.ndarray]
+    ) -> np.ndarray:
+        """Error-free OMA aggregation (Eq. 8).
+
+        ``w_t = (1 − Σ α_i) w_{t−1} + Σ α_i w_i`` over the participating
+        workers; with all workers participating this is exactly FedAvg.
+        """
+        member_ids = list(member_ids)
+        if len(member_ids) != len(local_vectors):
+            raise ValueError("member_ids and local_vectors length mismatch")
+        alphas = self.alphas[member_ids]
+        new_global = (1.0 - alphas.sum()) * self.global_vector
+        for a, vec in zip(alphas, local_vectors):
+            new_global = new_global + a * vec
+        return new_global
+
+    def aircomp_group_update(
+        self,
+        member_ids: Sequence[int],
+        local_vectors: Sequence[np.ndarray],
+        round_index: int,
+    ) -> Tuple[np.ndarray, Dict[str, float]]:
+        """One over-the-air aggregation with power control (Eqs. 6-10).
+
+        Returns the new global vector and a dict with the σ/η used, the
+        per-round transmit energy and the aggregation error diagnostics.
+        """
+        member_ids = list(member_ids)
+        if len(member_ids) == 0:
+            raise ValueError("at least one participant required")
+        if len(member_ids) != len(local_vectors):
+            raise ValueError("member_ids and local_vectors length mismatch")
+        cfg = self.exp.config.aircomp
+        gains_all = self.exp.channel.gains(round_index)
+        gains = gains_all[member_ids]
+        sizes = self.data_sizes[member_ids]
+
+        # Model-norm bound W_t: use the largest local-model norm this round,
+        # which is exactly what Assumption 4 bounds.
+        model_bound = max(float(np.linalg.norm(v)) for v in local_vectors)
+        model_bound = max(model_bound, 1e-8)
+
+        # Calibration (see DESIGN.md): the paper's σ₀² is the total AWGN
+        # power of the aggregation; the q model entries are carried by q
+        # symbols, so the per-entry noise variance is σ₀² / q.  We use the
+        # paper-scale dimension (latency_dimension) so that the noise level,
+        # the upload latency and the energy model all describe the same
+        # full-size upload.
+        per_entry_noise_var = cfg.noise_variance / float(self.latency_dimension)
+
+        pc = solve_power_control(
+            data_sizes=sizes,
+            channel_gains=gains,
+            model_bound=model_bound,
+            config=replace(cfg, noise_variance=per_entry_noise_var),
+        )
+
+        result = aircomp_aggregate(
+            models=local_vectors,
+            data_sizes=sizes,
+            channel_gains=gains,
+            sigma_t=pc.sigma,
+            eta_t=pc.eta,
+            noise_std=float(np.sqrt(per_entry_noise_var)),
+            rng=self._noise_rng,
+            total_data_size=self.total_data,
+        )
+        # Eq. (10): mix the received estimate with the previous global model.
+        beta = float(self.alphas[member_ids].sum())
+        new_global = (1.0 - beta) * self.global_vector + result.estimate
+
+        round_energy = float(result.transmit_energies.sum())
+        self.energy.record_round(member_ids, result.transmit_energies)
+        info = {
+            "sigma": pc.sigma,
+            "eta": pc.eta,
+            "round_energy_j": round_energy,
+            "beta": beta,
+            "noise_norm": result.noise_norm,
+            "power_control_iterations": float(pc.iterations),
+        }
+        return new_global, info
+
+    # ------------------------------------------------------------------
+    # Timing helpers
+    # ------------------------------------------------------------------
+    @property
+    def latency_dimension(self) -> int:
+        """Model dimension used in the latency model (paper-scale override)."""
+        if self.exp.latency_model_dimension is not None:
+            return self.exp.latency_model_dimension
+        return self.model.dimension
+
+    def aircomp_upload_latency(self) -> float:
+        """``L_u`` for the current model dimension (Eq. 33)."""
+        cfg = self.exp.config.aircomp
+        return aircomp_latency(
+            self.latency_dimension, cfg.num_subchannels, cfg.symbol_duration_s
+        )
+
+    def oma_upload_latency(self, member_ids: Sequence[int], round_index: int) -> float:
+        """TDMA upload time for the given workers (grows with their number)."""
+        gains = self.exp.channel.gains(round_index)[list(member_ids)]
+        return tdma_round_time(self.latency_dimension, gains, self.exp.oma)
+
+    # ------------------------------------------------------------------
+    def run(
+        self, max_rounds: int = 100, max_time: Optional[float] = None
+    ) -> TrainingHistory:
+        """Run the mechanism; implemented by subclasses."""
+        raise NotImplementedError

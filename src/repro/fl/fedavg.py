@@ -1,0 +1,59 @@
+"""FedAvg baseline: synchronous FL with orthogonal (OMA) model uploads.
+
+Reference [11] of the paper (McMahan et al., AISTATS 2017).  Every round,
+*all* workers train from the current global model, upload their local models
+over orthogonal channel resources (TDMA here), and the server forms the
+data-weighted average.  Two properties matter for the comparison:
+
+* the server must wait for the slowest worker (straggler problem), and
+* the upload phase takes time proportional to the number of workers, so the
+  single-round time grows with N (left plot of Fig. 10).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import BaseTrainer, FLExperiment
+from .history import TrainingHistory
+
+__all__ = ["FedAvgTrainer"]
+
+
+class FedAvgTrainer(BaseTrainer):
+    """Synchronous OMA federated averaging over all workers."""
+
+    name = "fedavg"
+
+    def run(
+        self, max_rounds: int = 100, max_time: Optional[float] = None
+    ) -> TrainingHistory:
+        exp = self.exp
+        all_workers = list(range(exp.num_workers))
+        clock = 0.0
+        self.record_round(round_index=0, time=0.0, num_participants=0, force_eval=True)
+        for t in range(1, max_rounds + 1):
+            # Local training: everyone starts from the same global model.
+            local_vectors = [
+                self.local_update(w, self.global_vector, t) for w in all_workers
+            ]
+            # Round duration: slowest local training + sequential OMA uploads.
+            compute_time = max(
+                exp.latency.sample_time(w, t) for w in all_workers
+            )
+            upload_time = self.oma_upload_latency(all_workers, t)
+            clock += compute_time + upload_time
+            # Error-free aggregation (OMA transmissions are reliable).
+            self.global_vector = self.exact_group_update(all_workers, local_vectors)
+            self.record_round(
+                round_index=t,
+                time=clock,
+                staleness=0,
+                group_id=-1,
+                num_participants=len(all_workers),
+            )
+            if max_time is not None and clock >= max_time:
+                break
+        return self.history

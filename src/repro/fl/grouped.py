@@ -1,0 +1,169 @@
+"""Shared event-driven loop for grouping-asynchronous mechanisms.
+
+Both TiFL (OMA tiers) and Air-FedGA (AirComp groups) follow the same outer
+schedule: groups train independently; whenever *all* members of a group have
+finished local training, that group alone performs a global update and
+immediately starts its next local round from the fresh global model.  The
+only differences are (a) how the groups are formed and (b) how the group's
+models are aggregated (reliable OMA vs. noisy over-the-air).  This module
+implements the common schedule as a virtual-time event loop on top of the
+:class:`~repro.core.mechanism.GroupAsyncScheduler` protocol state machine;
+the two mechanisms specialize the two hooks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.mechanism import GroupAsyncScheduler
+from .base import BaseTrainer, FLExperiment
+from .history import TrainingHistory
+
+__all__ = ["GroupedAsyncTrainer"]
+
+
+class GroupedAsyncTrainer(BaseTrainer):
+    """Base class for group-asynchronous mechanisms (TiFL, Air-FedGA).
+
+    Parameters
+    ----------
+    experiment:
+        The federated experiment definition.
+    staleness_exponent:
+        Optional staleness-aware damping (an extension beyond the paper,
+        following the asynchronous-FL literature the paper cites, e.g. Xie et
+        al.): a group whose update is based on a global model ``τ`` rounds
+        old contributes with weight ``1 / (1 + τ)**staleness_exponent``.
+        The default ``0.0`` reproduces the paper's Eq. (10) exactly.
+    """
+
+    name = "grouped_async"
+
+    def __init__(self, experiment: FLExperiment, staleness_exponent: float = 0.0) -> None:
+        if staleness_exponent < 0:
+            raise ValueError("staleness_exponent must be non-negative")
+        self.staleness_exponent = staleness_exponent
+        super().__init__(experiment)
+        self.groups: List[List[int]] = self.build_groups()
+        if not self.groups:
+            raise ValueError("grouping produced no groups")
+        covered = sorted(w for g in self.groups for w in g)
+        if covered != list(range(experiment.num_workers)):
+            raise ValueError(
+                "grouping must cover every worker exactly once; "
+                f"got coverage {covered[:10]}..."
+            )
+        self.scheduler = GroupAsyncScheduler(self.groups)
+        # The global-model version each group last received, as a vector.
+        self._group_base: Dict[int, np.ndarray] = {
+            g: self.global_vector.copy() for g in range(len(self.groups))
+        }
+        # Uplink occupancy: aggregations (AirComp bursts or OMA uploads) from
+        # different groups share the same band, so they are serialized at the
+        # parameter server.  This is what makes very small groups (ξ → 0)
+        # expensive in the paper's Fig. 8 — with many tiny groups the channel
+        # itself becomes the bottleneck.
+        self._channel_busy_until: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Hooks specialized by the concrete mechanisms
+    # ------------------------------------------------------------------
+    def build_groups(self) -> List[List[int]]:
+        """Return the list of worker-id lists forming the groups."""
+        raise NotImplementedError
+
+    def aggregate_group(
+        self,
+        group_id: int,
+        member_ids: Sequence[int],
+        local_vectors: Sequence[np.ndarray],
+        round_index: int,
+    ) -> Tuple[np.ndarray, Dict[str, float]]:
+        """Produce the new global model from the group's local models."""
+        raise NotImplementedError
+
+    def upload_time(self, member_ids: Sequence[int], round_index: int) -> float:
+        """Simulated duration of the group's model-upload phase."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def group_compute_time(self, group_id: int, round_index: int) -> float:
+        """Local-training duration of a group: its slowest member."""
+        members = self.groups[group_id]
+        return max(
+            self.exp.latency.sample_time(w, round_index) for w in members
+        )
+
+    # ------------------------------------------------------------------
+    def run(
+        self, max_rounds: int = 100, max_time: Optional[float] = None
+    ) -> TrainingHistory:
+        self.record_round(round_index=0, time=0.0, num_participants=0, force_eval=True)
+        # Priority queue of (ready_time, group_id): the moment every member
+        # of the group has finished local training and sent READY.
+        queue: List[Tuple[float, int]] = []
+        for g in range(len(self.groups)):
+            heapq.heappush(queue, (self.group_compute_time(g, 1), g))
+
+        while queue:
+            ready_time, group_id = heapq.heappop(queue)
+            if max_time is not None and ready_time > max_time:
+                break
+            members = self.groups[group_id]
+            # Protocol: every member sends READY; the last one completes the
+            # group and triggers EXECUTE.
+            completed: Optional[int] = None
+            for w in members:
+                result = self.scheduler.receive_ready(w)
+                if result is not None:
+                    completed = result
+            if completed is None:
+                raise RuntimeError("group did not complete after all READY messages")
+            event = self.scheduler.complete_aggregation(group_id)
+            t = event.round_index
+
+            # Local updates are computed from the global version this group
+            # last received (Eq. 5); the round index seeds the batch sampling.
+            base = self._group_base[group_id]
+            local_vectors = [self.local_update(w, base, t) for w in members]
+
+            upload = self.upload_time(members, t)
+            # The group can only start its aggregation once the shared uplink
+            # is free; with many small groups this queueing delay dominates.
+            upload_start = max(ready_time, self._channel_busy_until)
+            update_time = upload_start + upload
+            self._channel_busy_until = update_time
+
+            new_global, info = self.aggregate_group(
+                group_id, members, local_vectors, t
+            )
+            if self.staleness_exponent > 0.0 and event.staleness > 0:
+                # Staleness-aware damping (extension, off by default): shrink
+                # the contribution of updates computed from old global models.
+                weight = 1.0 / (1.0 + event.staleness) ** self.staleness_exponent
+                new_global = (1.0 - weight) * self.global_vector + weight * new_global
+            self.global_vector = new_global
+            # The group receives the fresh global model and immediately
+            # starts its next local round.
+            self._group_base[group_id] = self.global_vector.copy()
+            next_ready = update_time + self.group_compute_time(group_id, t + 1)
+            heapq.heappush(queue, (next_ready, group_id))
+
+            self.record_round(
+                round_index=t,
+                time=update_time,
+                staleness=event.staleness,
+                group_id=group_id,
+                num_participants=len(members),
+                round_energy=info.get("round_energy_j", 0.0),
+                sigma=info.get("sigma", float("nan")),
+                eta=info.get("eta", float("nan")),
+            )
+            if t >= max_rounds:
+                break
+            if max_time is not None and update_time >= max_time:
+                break
+        return self.history

@@ -1,0 +1,40 @@
+"""Mechanism registry: build any of the five mechanisms by name."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from .air_fedavg import AirFedAvgTrainer
+from .air_fedga import AirFedGATrainer
+from .base import BaseTrainer, FLExperiment
+from .dynamic import DynamicTrainer
+from .fedavg import FedAvgTrainer
+from .tifl import TiFLTrainer
+
+__all__ = ["MECHANISMS", "build_trainer"]
+
+#: Mapping from mechanism name to trainer class.  The names match the
+#: labels used in the paper's figures.
+MECHANISMS: Dict[str, Callable[..., BaseTrainer]] = {
+    "fedavg": FedAvgTrainer,
+    "tifl": TiFLTrainer,
+    "air_fedavg": AirFedAvgTrainer,
+    "dynamic": DynamicTrainer,
+    "air_fedga": AirFedGATrainer,
+}
+
+
+def build_trainer(name: str, experiment: FLExperiment, **kwargs) -> BaseTrainer:
+    """Instantiate a mechanism trainer by registry name.
+
+    Extra keyword arguments are forwarded to the trainer constructor
+    (e.g. ``num_tiers`` for TiFL, ``select_fraction`` for Dynamic,
+    ``grouping_strategy`` for Air-FedGA).
+    """
+    try:
+        cls = MECHANISMS[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown mechanism {name!r}; available: {sorted(MECHANISMS)}"
+        ) from exc
+    return cls(experiment, **kwargs)

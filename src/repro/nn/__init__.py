@@ -1,0 +1,75 @@
+"""NumPy neural-network substrate.
+
+A minimal, dependency-free replacement for the PyTorch models the paper
+uses: layers with explicit forward/backward passes, classification losses,
+SGD, and flat-vector parameter access for over-the-air aggregation.
+"""
+
+from .params import (
+    Parameter,
+    ParameterSet,
+    ParameterVector,
+    flatten_parameters,
+    unflatten_vector,
+)
+from .layers import (
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    Layer,
+    MaxPool2D,
+    ReLU,
+    col2im,
+    im2col,
+)
+from .losses import (
+    accuracy,
+    cross_entropy_from_probs,
+    log_softmax,
+    softmax,
+    softmax_cross_entropy,
+)
+from .optim import SGD, Optimizer
+from .models import (
+    CifarCNN,
+    LogisticRegressionMLP,
+    MiniVGG,
+    MnistCNN,
+    Model,
+    SequentialModel,
+    MODEL_REGISTRY,
+    build_model,
+)
+
+__all__ = [
+    "Parameter",
+    "ParameterSet",
+    "ParameterVector",
+    "flatten_parameters",
+    "unflatten_vector",
+    "Layer",
+    "Dense",
+    "ReLU",
+    "Flatten",
+    "Dropout",
+    "Conv2D",
+    "MaxPool2D",
+    "im2col",
+    "col2im",
+    "softmax",
+    "log_softmax",
+    "softmax_cross_entropy",
+    "cross_entropy_from_probs",
+    "accuracy",
+    "Optimizer",
+    "SGD",
+    "Model",
+    "SequentialModel",
+    "LogisticRegressionMLP",
+    "MnistCNN",
+    "CifarCNN",
+    "MiniVGG",
+    "build_model",
+    "MODEL_REGISTRY",
+]

@@ -1,0 +1,83 @@
+"""Optimizers operating on :class:`~repro.nn.params.ParameterSet` objects.
+
+The paper's local update rule (Eq. (4)) is plain gradient descent with step
+size γ.  We also provide SGD with momentum and weight decay because several
+baselines in the literature (and the ablations in ``benchmarks/``) use them.
+All updates are performed in place on the parameter buffers so that repeated
+rounds do not allocate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from .params import ParameterSet
+
+__all__ = ["Optimizer", "SGD"]
+
+
+class Optimizer:
+    """Base class: holds a parameter set and applies in-place updates."""
+
+    def __init__(self, params: ParameterSet) -> None:
+        self.params = params
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        self.params.zero_grad()
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay.
+
+    With ``momentum=0`` and ``weight_decay=0`` this is exactly the paper's
+    local update ``w <- w - γ ∇f_i(w)``.
+    """
+
+    def __init__(
+        self,
+        params: ParameterSet,
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params)
+        if lr <= 0.0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if weight_decay < 0.0:
+            raise ValueError(f"weight decay must be non-negative, got {weight_decay}")
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: Dict[str, np.ndarray] = {}
+
+    def step(self) -> None:
+        for p in self.params:
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay > 0.0:
+                grad = grad + self.weight_decay * p.value
+            if self.momentum > 0.0:
+                v = self._velocity.get(p.name)
+                if v is None:
+                    v = np.zeros_like(p.value)
+                    self._velocity[p.name] = v
+                v *= self.momentum
+                v += grad
+                update = v
+            else:
+                update = grad
+            p.value -= self.lr * update
+
+    def set_lr(self, lr: float) -> None:
+        """Change the learning rate (used by staleness-adaptive baselines)."""
+        if lr <= 0.0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr

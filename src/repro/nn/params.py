@@ -1,0 +1,273 @@
+"""Parameter containers and vector <-> structured-parameter conversion.
+
+The Air-FedGA mechanism (and AirComp aggregation in general) operates on the
+*flattened* model parameter vector ``w``: workers transmit analog waveforms
+whose amplitudes encode the entries of ``w``, and the parameter server
+receives a noisy superposition of those vectors.  Every model in
+:mod:`repro.nn` therefore exposes its parameters both as a list of named
+NumPy arrays (convenient for layer-wise backpropagation) and as a single
+contiguous 1-D ``float64`` vector (convenient for channel simulation and
+aggregation).
+
+The conversion helpers here are deliberately allocation-conscious: flattening
+writes into a single pre-allocated buffer using ``np.concatenate`` on views,
+and unflattening produces views that are reshaped copies only when strides
+require it.  Hot training loops re-use the same buffer via
+:meth:`ParameterVector.copy_into`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Parameter",
+    "ParameterSet",
+    "ParameterVector",
+    "flatten_parameters",
+    "unflatten_vector",
+]
+
+
+@dataclass
+class Parameter:
+    """A single trainable tensor together with its gradient accumulator.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier, unique within a :class:`ParameterSet`
+        (e.g. ``"conv1.weight"``).
+    value:
+        The parameter tensor.  Always stored as ``float64`` and C-contiguous
+        so that flattening is a cheap ``ravel`` view.
+    grad:
+        Gradient of the loss with respect to ``value``.  Allocated lazily on
+        the first backward pass and zeroed in-place afterwards to avoid
+        repeated allocation in training loops.
+    """
+
+    name: str
+    value: np.ndarray
+    grad: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        self.value = np.ascontiguousarray(self.value, dtype=np.float64)
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.value.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.value.size)
+
+    def ensure_grad(self) -> np.ndarray:
+        """Return the gradient buffer, allocating it (zeroed) if needed."""
+        if self.grad is None or self.grad.shape != self.value.shape:
+            self.grad = np.zeros_like(self.value)
+        return self.grad
+
+    def zero_grad(self) -> None:
+        """Zero the gradient buffer in place (no-op if never allocated)."""
+        if self.grad is not None:
+            self.grad.fill(0.0)
+
+    def accumulate_grad(self, delta: np.ndarray) -> None:
+        """Add ``delta`` into the gradient buffer in place."""
+        g = self.ensure_grad()
+        np.add(g, delta, out=g)
+
+
+class ParameterSet:
+    """Ordered collection of named :class:`Parameter` objects.
+
+    The ordering is significant: the flattened vector layout is defined by
+    insertion order, and every worker in a federated run must use the same
+    layout for over-the-air aggregation to be meaningful.  Layers register
+    their parameters at construction time, so identical model constructors
+    yield identical layouts.
+    """
+
+    def __init__(self, parameters: Sequence[Parameter] | None = None) -> None:
+        self._params: List[Parameter] = []
+        self._by_name: Dict[str, Parameter] = {}
+        if parameters:
+            for p in parameters:
+                self.add(p)
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def add(self, param: Parameter) -> Parameter:
+        if param.name in self._by_name:
+            raise ValueError(f"duplicate parameter name: {param.name!r}")
+        self._params.append(param)
+        self._by_name[param.name] = param
+        return param
+
+    def __iter__(self) -> Iterator[Parameter]:
+        return iter(self._params)
+
+    def __len__(self) -> int:
+        return len(self._params)
+
+    def __getitem__(self, key: str | int) -> Parameter:
+        if isinstance(key, int):
+            return self._params[key]
+        return self._by_name[key]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def names(self) -> List[str]:
+        return [p.name for p in self._params]
+
+    def shapes(self) -> List[Tuple[int, ...]]:
+        return [p.shape for p in self._params]
+
+    # ------------------------------------------------------------------
+    # Vector conversion
+    # ------------------------------------------------------------------
+    @property
+    def total_size(self) -> int:
+        """Total number of scalar parameters (the model dimension ``q``)."""
+        return sum(p.size for p in self._params)
+
+    def to_vector(self, out: np.ndarray | None = None) -> np.ndarray:
+        """Flatten all parameter values into a single 1-D ``float64`` vector."""
+        return flatten_parameters([p.value for p in self._params], out=out)
+
+    def grad_vector(self, out: np.ndarray | None = None) -> np.ndarray:
+        """Flatten all gradients into a single 1-D vector (zeros if unset)."""
+        grads = [
+            p.grad if p.grad is not None else np.zeros_like(p.value)
+            for p in self._params
+        ]
+        return flatten_parameters(grads, out=out)
+
+    def from_vector(self, vector: np.ndarray) -> None:
+        """Load parameter values in place from a flat vector."""
+        blocks = unflatten_vector(vector, self.shapes())
+        for p, block in zip(self._params, blocks):
+            np.copyto(p.value, block)
+
+    def zero_grad(self) -> None:
+        for p in self._params:
+            p.zero_grad()
+
+    def copy(self) -> "ParameterSet":
+        """Deep copy of the parameter set (gradients are not copied)."""
+        return ParameterSet(
+            [Parameter(p.name, p.value.copy()) for p in self._params]
+        )
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {p.name: p.value.copy() for p in self._params}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        missing = [n for n in self._by_name if n not in state]
+        if missing:
+            raise KeyError(f"state dict is missing parameters: {missing}")
+        for name, value in state.items():
+            if name not in self._by_name:
+                raise KeyError(f"unexpected parameter in state dict: {name!r}")
+            param = self._by_name[name]
+            if param.shape != value.shape:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: "
+                    f"{param.shape} vs {value.shape}"
+                )
+            np.copyto(param.value, value)
+
+
+@dataclass
+class ParameterVector:
+    """A flat model vector paired with the layout needed to restore it.
+
+    This is the unit that travels through the simulated wireless channel.
+    ``data`` is always 1-D, C-contiguous ``float64`` so that AirComp
+    superposition (element-wise sums of many vectors) vectorizes cleanly.
+    """
+
+    data: np.ndarray
+    shapes: List[Tuple[int, ...]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.data = np.ascontiguousarray(self.data, dtype=np.float64).ravel()
+
+    @property
+    def dimension(self) -> int:
+        return int(self.data.size)
+
+    def norm(self) -> float:
+        """Euclidean norm of the flat vector (used for the model bound W_t)."""
+        return float(np.linalg.norm(self.data))
+
+    def copy(self) -> "ParameterVector":
+        return ParameterVector(self.data.copy(), list(self.shapes))
+
+    def copy_into(self, out: np.ndarray) -> np.ndarray:
+        """Copy the vector into a pre-allocated buffer and return it."""
+        if out.shape != self.data.shape:
+            raise ValueError(
+                f"buffer shape {out.shape} does not match vector shape "
+                f"{self.data.shape}"
+            )
+        np.copyto(out, self.data)
+        return out
+
+
+def flatten_parameters(
+    arrays: Sequence[np.ndarray], out: np.ndarray | None = None
+) -> np.ndarray:
+    """Concatenate arbitrary-shaped arrays into one flat ``float64`` vector.
+
+    Parameters
+    ----------
+    arrays:
+        Tensors to flatten, in layout order.
+    out:
+        Optional pre-allocated destination of the correct total size.  When
+        given, no new vector is allocated; each block is copied into its
+        slice of ``out``.
+    """
+    total = sum(int(a.size) for a in arrays)
+    if out is None:
+        out = np.empty(total, dtype=np.float64)
+    elif out.size != total:
+        raise ValueError(
+            f"output buffer has size {out.size}, expected {total}"
+        )
+    offset = 0
+    for a in arrays:
+        n = int(a.size)
+        out[offset : offset + n] = np.asarray(a, dtype=np.float64).ravel()
+        offset += n
+    return out
+
+
+def unflatten_vector(
+    vector: np.ndarray, shapes: Sequence[Tuple[int, ...]]
+) -> List[np.ndarray]:
+    """Split a flat vector back into blocks of the given shapes.
+
+    The returned arrays are reshaped *views* into ``vector`` whenever the
+    vector is contiguous, so callers that only read the blocks pay no copy.
+    """
+    vector = np.asarray(vector, dtype=np.float64).ravel()
+    expected = sum(int(np.prod(s)) if s else 1 for s in shapes)
+    if vector.size != expected:
+        raise ValueError(
+            f"vector has {vector.size} entries but shapes require {expected}"
+        )
+    blocks: List[np.ndarray] = []
+    offset = 0
+    for shape in shapes:
+        n = int(np.prod(shape)) if shape else 1
+        blocks.append(vector[offset : offset + n].reshape(shape))
+        offset += n
+    return blocks

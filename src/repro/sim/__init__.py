@@ -1,0 +1,16 @@
+"""Discrete-event simulation substrate: events, engine, latency models."""
+
+from .events import Event, EventType, ExecuteMessage, ReadyMessage
+from .engine import SimulationEngine, SimulationError
+from .latency import HeterogeneityModel, LatencyTable
+
+__all__ = [
+    "Event",
+    "EventType",
+    "ReadyMessage",
+    "ExecuteMessage",
+    "SimulationEngine",
+    "SimulationError",
+    "HeterogeneityModel",
+    "LatencyTable",
+]

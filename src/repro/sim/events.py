@@ -1,0 +1,71 @@
+"""Event records for the discrete-event federated-learning simulator.
+
+Algorithm 1 of the paper is a message-driven protocol: workers send READY
+messages after finishing local training, the parameter server replies with
+EXECUTE once every member of a group is ready, and the group then performs
+one over-the-air aggregation.  The simulator represents each of these steps
+as a timestamped event so the trainers can replay the protocol in virtual
+time without any real parallelism (the paper itself simulates worker
+heterogeneity the same way).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+__all__ = ["EventType", "Event", "ReadyMessage", "ExecuteMessage"]
+
+
+class EventType(enum.Enum):
+    """Kinds of events the simulator schedules."""
+
+    WORKER_READY = "worker_ready"          # worker finished local training
+    GROUP_EXECUTE = "group_execute"        # PS triggers over-the-air aggregation
+    AGGREGATION_DONE = "aggregation_done"  # global model updated & broadcast
+    CUSTOM = "custom"
+
+
+_event_counter = itertools.count()
+
+
+@dataclass(order=True)
+class Event:
+    """A timestamped event.
+
+    Ordering is by ``(time, sequence)`` so that simultaneous events are
+    processed in the order they were scheduled (deterministic replay).
+    """
+
+    time: float
+    sequence: int = field(compare=True)
+    type: EventType = field(compare=False, default=EventType.CUSTOM)
+    payload: Dict[str, Any] = field(compare=False, default_factory=dict)
+
+    @classmethod
+    def create(
+        cls, time: float, type: EventType, **payload: Any
+    ) -> "Event":
+        if time < 0:
+            raise ValueError("event time must be non-negative")
+        return cls(time=time, sequence=next(_event_counter), type=type, payload=dict(payload))
+
+
+@dataclass
+class ReadyMessage:
+    """READY message from a worker to the parameter server (Alg. 1, line 8)."""
+
+    worker_id: int
+    group_id: int
+    sent_at: float
+
+
+@dataclass
+class ExecuteMessage:
+    """EXECUTE message from the parameter server to a group (Alg. 1, line 23)."""
+
+    group_id: int
+    round_index: int
+    sent_at: float

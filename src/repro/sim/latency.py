@@ -1,0 +1,132 @@
+"""Worker compute-latency model and edge-heterogeneity simulation.
+
+Section VI-A2 of the paper: the 100 virtual workers run on one workstation,
+so their raw local-training times ``l̂_i`` are roughly equal; heterogeneity
+is injected by a per-worker scaling factor ``κ_i`` drawn uniformly from
+``[1, 10]``, giving the simulated local-training time ``l_i = κ_i · l̂_i``.
+These ``l_i`` drive the READY-message times in the simulator and hence the
+whole time axis of the evaluation.
+
+The base time ``l̂_i`` can optionally be *measured* from the actual NumPy
+training step so that larger models (CNN, MiniVGG) have proportionally
+longer simulated rounds, as they would on real hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["HeterogeneityModel", "LatencyTable"]
+
+
+@dataclass
+class HeterogeneityModel:
+    """Per-worker compute-speed scaling factors κ_i ~ U[kappa_min, kappa_max]."""
+
+    num_workers: int
+    kappa_min: float = 1.0
+    kappa_max: float = 10.0
+    seed: int = 0
+    _kappa: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if self.kappa_min <= 0:
+            raise ValueError("kappa_min must be positive")
+        if self.kappa_max < self.kappa_min:
+            raise ValueError("kappa_max must be >= kappa_min")
+        rng = np.random.default_rng(self.seed)
+        self._kappa = rng.uniform(
+            self.kappa_min, self.kappa_max, size=self.num_workers
+        )
+
+    @property
+    def kappa(self) -> np.ndarray:
+        """The per-worker scaling factors (copy)."""
+        return self._kappa.copy()
+
+    def scale(self, worker_id: int) -> float:
+        if not 0 <= worker_id < self.num_workers:
+            raise ValueError(f"invalid worker id {worker_id}")
+        return float(self._kappa[worker_id])
+
+
+@dataclass
+class LatencyTable:
+    """Per-worker simulated local-training times ``l_i = κ_i · l̂_i``.
+
+    Parameters
+    ----------
+    base_times:
+        The homogeneous raw times ``l̂_i`` (seconds per local update).  A
+        scalar means every worker has the same base time, matching the
+        paper's single-workstation setup.
+    heterogeneity:
+        The κ model.  If omitted, κ_i = 1 for all workers (homogeneous).
+    jitter_std:
+        Optional per-round multiplicative jitter (log-normal-ish, clipped)
+        so that repeated rounds are not perfectly identical.  The paper's
+        model has no jitter; it is off by default.
+    """
+
+    num_workers: int
+    base_time: float = 1.0
+    heterogeneity: Optional[HeterogeneityModel] = None
+    jitter_std: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if self.base_time <= 0:
+            raise ValueError("base_time must be positive")
+        if self.jitter_std < 0:
+            raise ValueError("jitter_std must be non-negative")
+        if (
+            self.heterogeneity is not None
+            and self.heterogeneity.num_workers != self.num_workers
+        ):
+            raise ValueError("heterogeneity model has a different worker count")
+
+    # ------------------------------------------------------------------
+    def nominal_times(self) -> np.ndarray:
+        """The deterministic per-worker times ``l_i`` (used by Alg. 3)."""
+        if self.heterogeneity is None:
+            kappa = np.ones(self.num_workers)
+        else:
+            kappa = self.heterogeneity.kappa
+        return kappa * self.base_time
+
+    def nominal_time(self, worker_id: int) -> float:
+        if not 0 <= worker_id < self.num_workers:
+            raise ValueError(f"invalid worker id {worker_id}")
+        return float(self.nominal_times()[worker_id])
+
+    def spread(self) -> float:
+        """Δl = max_i l_i − min_i l_i (the scale used in constraint 36d)."""
+        times = self.nominal_times()
+        return float(times.max() - times.min())
+
+    def sample_time(self, worker_id: int, round_index: int) -> float:
+        """Local-training time of one worker in one round (with jitter if set)."""
+        nominal = self.nominal_time(worker_id)
+        if self.jitter_std == 0.0:
+            return nominal
+        rng = np.random.default_rng(
+            np.random.SeedSequence([self.seed, worker_id, round_index, 0x1A7])
+        )
+        factor = float(np.clip(1.0 + rng.normal(0.0, self.jitter_std), 0.2, 5.0))
+        return nominal * factor
+
+    def group_completion_time(
+        self, worker_ids: Sequence[int], round_index: int = 0
+    ) -> float:
+        """Time for a whole group to finish local training (slowest member)."""
+        ids = list(worker_ids)
+        if not ids:
+            raise ValueError("group must contain at least one worker")
+        return max(self.sample_time(w, round_index) for w in ids)

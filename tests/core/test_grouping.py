@@ -1,0 +1,212 @@
+"""Unit tests for the worker-grouping strategies (Algorithm 3 + baselines)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AirFedGAConfig,
+    GroupingConfig,
+    GroupingProblem,
+    greedy_grouping,
+    random_grouping,
+    singleton_grouping,
+    tier_grouping,
+)
+from repro.data import average_emd, make_mnist_like, partition_label_skew
+from repro.sim import HeterogeneityModel, LatencyTable
+
+
+def make_problem(num_workers=20, xi=0.3, seed=0, c_max=0.0):
+    dataset = make_mnist_like(num_train=400, num_test=40, image_size=8, seed=seed)
+    partition = partition_label_skew(dataset, num_workers=num_workers, seed=seed)
+    latency = LatencyTable(
+        num_workers=num_workers,
+        base_time=2.0,
+        heterogeneity=HeterogeneityModel(num_workers=num_workers, seed=seed + 1),
+    )
+    config = AirFedGAConfig(grouping=GroupingConfig(xi=xi))
+    problem = GroupingProblem(
+        data_sizes=partition.data_sizes(),
+        class_counts=partition.class_counts(),
+        local_times=latency.nominal_times(),
+        model_dimension=100_000,
+        config=config,
+        c_max=c_max,
+    )
+    return problem, partition, latency
+
+
+class TestGroupingProblem:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GroupingProblem(
+                data_sizes=np.array([1.0]),
+                class_counts=np.ones((2, 3)),
+                local_times=np.array([1.0]),
+                model_dimension=10,
+            )
+        with pytest.raises(ValueError):
+            GroupingProblem(
+                data_sizes=np.array([1.0]),
+                class_counts=np.ones((1, 3)),
+                local_times=np.array([0.0]),
+                model_dimension=10,
+            )
+        with pytest.raises(ValueError):
+            GroupingProblem(
+                data_sizes=np.array([1.0]),
+                class_counts=np.ones((1, 3)),
+                local_times=np.array([1.0]),
+                model_dimension=0,
+            )
+
+    def test_global_distribution_sums_to_one(self):
+        problem, _, _ = make_problem()
+        assert problem.global_distribution().sum() == pytest.approx(1.0)
+
+    def test_time_spread(self):
+        problem, _, latency = make_problem()
+        times = latency.nominal_times()
+        assert problem.time_spread() == pytest.approx(times.max() - times.min())
+
+
+class TestGreedyGrouping:
+    def test_covers_every_worker_exactly_once(self):
+        problem, _, _ = make_problem()
+        result = greedy_grouping(problem)
+        assigned = sorted(w for g in result.groups for w in g)
+        assert assigned == list(range(problem.num_workers))
+
+    def test_respects_time_similarity_constraint(self):
+        """Every member's straggler wait stays within xi * delta_l (Eq. 36d)."""
+        problem, _, _ = make_problem(xi=0.3)
+        result = greedy_grouping(problem)
+        slack = 0.3 * problem.time_spread()
+        for members, group_time in zip(result.groups, result.group_times):
+            for w in members:
+                wait = group_time - result.upload_latency - problem.local_times[w]
+                assert wait <= slack + 1e-9
+
+    def test_zero_xi_gives_singleton_groups(self):
+        """xi -> 0 degenerates into fully asynchronous per-worker updates."""
+        problem, _, _ = make_problem(xi=0.0)
+        result = greedy_grouping(problem)
+        # Workers with distinct training times cannot share a group.
+        assert result.num_groups == problem.num_workers
+
+    def test_large_xi_allows_few_groups(self):
+        problem_small, _, _ = make_problem(xi=0.1, seed=3)
+        problem_large, _, _ = make_problem(xi=1.0, seed=3)
+        few = greedy_grouping(problem_large).num_groups
+        many = greedy_grouping(problem_small).num_groups
+        assert few <= many
+
+    def test_reduces_emd_relative_to_singletons(self):
+        problem, partition, _ = make_problem(num_workers=30)
+        greedy = greedy_grouping(problem)
+        single = singleton_grouping(problem)
+        assert average_emd(partition, greedy.groups) < average_emd(
+            partition, single.groups
+        )
+
+    def test_emd_not_worse_than_time_only_tiers(self):
+        """The data-aware grouping should beat (or match) TiFL tiers (Table III)."""
+        problem, partition, _ = make_problem(num_workers=40, seed=5)
+        greedy = greedy_grouping(problem)
+        tiers = tier_grouping(problem, num_groups=greedy.num_groups)
+        assert average_emd(partition, greedy.groups) <= average_emd(
+            partition, tiers.groups
+        ) + 1e-9
+
+    def test_objective_is_finite(self):
+        problem, _, _ = make_problem()
+        assert np.isfinite(greedy_grouping(problem).objective)
+
+    def test_deterministic(self):
+        problem, _, _ = make_problem(seed=2)
+        a = greedy_grouping(problem)
+        b = greedy_grouping(problem)
+        assert [sorted(g) for g in a.groups] == [sorted(g) for g in b.groups]
+
+    def test_betas_sum_to_one(self):
+        problem, _, _ = make_problem()
+        result = greedy_grouping(problem)
+        assert result.betas.sum() == pytest.approx(1.0)
+
+    def test_frequencies_sum_to_one(self):
+        problem, _, _ = make_problem()
+        result = greedy_grouping(problem)
+        assert result.frequencies.sum() == pytest.approx(1.0)
+
+
+class TestBaselineGroupings:
+    def test_tier_grouping_sorted_by_time(self):
+        problem, _, _ = make_problem(num_workers=24)
+        result = tier_grouping(problem, num_groups=4)
+        # Tiers are contiguous in sorted time order: the slowest member of
+        # tier k is not slower than the fastest member of tier k+1.
+        maxima = [problem.local_times[list(g)].max() for g in result.groups]
+        minima = [problem.local_times[list(g)].min() for g in result.groups]
+        for k in range(len(result.groups) - 1):
+            assert maxima[k] <= minima[k + 1] + 1e-12
+
+    def test_tier_grouping_group_count(self):
+        problem, _, _ = make_problem(num_workers=24)
+        assert tier_grouping(problem, num_groups=6).num_groups == 6
+
+    def test_tier_grouping_caps_at_worker_count(self):
+        problem, _, _ = make_problem(num_workers=5)
+        assert tier_grouping(problem, num_groups=50).num_groups == 5
+
+    def test_random_grouping_covers_all_workers(self):
+        problem, _, _ = make_problem(num_workers=17)
+        result = random_grouping(problem, num_groups=4, seed=3)
+        assert sorted(w for g in result.groups for w in g) == list(range(17))
+
+    def test_random_grouping_seed_reproducible(self):
+        problem, _, _ = make_problem(num_workers=17)
+        a = random_grouping(problem, num_groups=4, seed=3)
+        b = random_grouping(problem, num_groups=4, seed=3)
+        assert [sorted(g) for g in a.groups] == [sorted(g) for g in b.groups]
+
+    def test_singleton_grouping(self):
+        problem, _, _ = make_problem(num_workers=9)
+        result = singleton_grouping(problem)
+        assert result.num_groups == 9
+        assert all(len(g) == 1 for g in result.groups)
+
+    def test_invalid_group_counts(self):
+        problem, _, _ = make_problem(num_workers=5)
+        with pytest.raises(ValueError):
+            tier_grouping(problem, num_groups=0)
+        with pytest.raises(ValueError):
+            random_grouping(problem, num_groups=0)
+
+
+class TestGroupingResult:
+    def test_group_of_and_membership(self):
+        problem, _, _ = make_problem(num_workers=12)
+        result = greedy_grouping(problem)
+        membership = result.membership(12)
+        for w in range(12):
+            assert membership[w] == result.group_of(w)
+
+    def test_group_of_unknown_worker(self):
+        problem, _, _ = make_problem(num_workers=6)
+        result = greedy_grouping(problem)
+        with pytest.raises(KeyError):
+            result.group_of(99)
+
+    def test_membership_detects_missing_worker(self):
+        problem, _, _ = make_problem(num_workers=6)
+        result = greedy_grouping(problem)
+        with pytest.raises(ValueError):
+            result.membership(7)
+
+    def test_lambdas_within_emd_bounds(self):
+        problem, _, _ = make_problem(num_workers=20)
+        result = greedy_grouping(problem)
+        assert np.all(result.lambdas >= 0.0)
+        assert np.all(result.lambdas <= 2.0 + 1e-12)

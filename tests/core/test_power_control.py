@@ -1,0 +1,157 @@
+"""Unit tests for the power-control algorithm (Algorithm 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel import aggregation_error_term, transmit_energy
+from repro.core import AirCompConfig, feasible_sigma, optimal_eta, solve_power_control
+
+
+CFG = AirCompConfig(noise_variance=1e-3, energy_budget_j=10.0)
+
+
+class TestOptimalEta:
+    def test_closed_form_value(self):
+        # eta = ((sigma^2 W^2 + sv/D^2) / (sigma W^2))^2
+        sigma, W, sv, D = 0.5, 2.0, 0.04, 2.0
+        expected = ((sigma**2 * W**2 + sv / D**2) / (sigma * W**2)) ** 2
+        assert optimal_eta(sigma, W, sv, D) == pytest.approx(expected)
+
+    def test_is_stationary_point_of_error_term(self):
+        """The returned eta must be a minimizer of C_t for the given sigma."""
+        sigma, W, sv, D = 0.7, 3.0, 0.01, 5.0
+        eta_star = optimal_eta(sigma, W, sv, D)
+        c_star = aggregation_error_term(sigma, eta_star, W, sv, D)
+        for factor in (0.5, 0.9, 1.1, 2.0):
+            assert c_star <= aggregation_error_term(sigma, eta_star * factor, W, sv, D) + 1e-12
+
+    def test_noiseless_case_matches_sigma(self):
+        # With zero noise the optimum is sqrt(eta) = sigma (no shrinkage).
+        assert optimal_eta(0.5, 2.0, 0.0, 1.0) == pytest.approx(0.25)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            optimal_eta(0.0, 1.0, 0.1, 1.0)
+        with pytest.raises(ValueError):
+            optimal_eta(1.0, 0.0, 0.1, 1.0)
+        with pytest.raises(ValueError):
+            optimal_eta(1.0, 1.0, 0.1, 0.0)
+
+
+class TestFeasibleSigma:
+    def test_unconstrained_optimum_is_sqrt_eta(self):
+        sigma = feasible_sigma(
+            eta=4.0, model_bound=1.0,
+            data_sizes=[1.0], channel_gains=[100.0], energy_budgets=[1e6],
+        )
+        assert sigma == pytest.approx(2.0)
+
+    def test_energy_cap_binds(self):
+        sigma = feasible_sigma(
+            eta=100.0, model_bound=2.0,
+            data_sizes=[4.0], channel_gains=[1.0], energy_budgets=[16.0],
+        )
+        # cap = h*sqrt(E)/(d*W) = 1*4/(4*2) = 0.5 < sqrt(eta) = 10
+        assert sigma == pytest.approx(0.5)
+
+    def test_cap_is_minimum_over_workers(self):
+        sigma = feasible_sigma(
+            eta=1e6, model_bound=1.0,
+            data_sizes=[1.0, 2.0], channel_gains=[1.0, 1.0],
+            energy_budgets=[1.0, 1.0],
+        )
+        assert sigma == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            feasible_sigma(0.0, 1.0, [1.0], [1.0], [1.0])
+        with pytest.raises(ValueError):
+            feasible_sigma(1.0, 1.0, [], [], [])
+        with pytest.raises(ValueError):
+            feasible_sigma(1.0, 1.0, [1.0], [1.0, 2.0], [1.0])
+
+
+class TestSolvePowerControl:
+    def _solve(self, **overrides):
+        kwargs = dict(
+            data_sizes=[20.0, 30.0, 50.0],
+            channel_gains=[0.8, 1.2, 1.0],
+            model_bound=10.0,
+            config=CFG,
+        )
+        kwargs.update(overrides)
+        return solve_power_control(**kwargs)
+
+    def test_converges(self):
+        result = self._solve()
+        assert result.converged
+        assert result.iterations <= CFG.power_control_max_iters
+
+    def test_sigma_respects_energy_cap(self):
+        result = self._solve()
+        assert result.sigma <= result.sigma_cap + 1e-12
+
+    def test_energy_budget_satisfied_for_every_worker(self):
+        """Constraint (41b): a worker transmitting a vector of norm W_t stays within budget."""
+        sizes = np.array([20.0, 30.0, 50.0])
+        gains = np.array([0.8, 1.2, 1.0])
+        result = self._solve()
+        w = np.zeros(4)
+        w[0] = 10.0  # norm exactly the model bound
+        for d, h in zip(sizes, gains):
+            assert transmit_energy(w, d, h, result.sigma) <= CFG.energy_budget_j + 1e-9
+
+    def test_error_term_not_worse_than_naive_choices(self):
+        result = self._solve()
+        group = 100.0
+        naive = aggregation_error_term(result.sigma_cap, 1.0, 10.0, CFG.noise_variance, group)
+        assert result.error_term <= naive
+
+    def test_eta_is_optimal_for_final_sigma(self):
+        result = self._solve()
+        group = 100.0
+        eta_expected = optimal_eta(result.sigma, 10.0, CFG.noise_variance, group)
+        assert result.eta == pytest.approx(eta_expected, rel=1e-4)
+
+    def test_alternation_monotonically_improves(self):
+        result = self._solve()
+        errors = [h[2] for h in result.history]
+        assert all(b <= a + 1e-9 for a, b in zip(errors, errors[1:]))
+
+    def test_zero_noise_gives_zero_error(self):
+        cfg = AirCompConfig(noise_variance=0.0)
+        result = self._solve(config=cfg)
+        assert result.error_term == pytest.approx(0.0, abs=1e-15)
+        # With no noise the matched condition sigma = sqrt(eta) is optimal.
+        assert result.sigma == pytest.approx(np.sqrt(result.eta), rel=1e-6)
+
+    def test_larger_budget_does_not_hurt(self):
+        tight = self._solve(config=AirCompConfig(noise_variance=1e-3, energy_budget_j=1.0))
+        loose = self._solve(config=AirCompConfig(noise_variance=1e-3, energy_budget_j=100.0))
+        assert loose.error_term <= tight.error_term + 1e-12
+
+    def test_per_worker_budgets_override_default(self):
+        result = self._solve(energy_budgets=[1.0, 1.0, 1.0])
+        default = self._solve()
+        assert result.sigma_cap < default.sigma_cap
+
+    def test_custom_initial_sigma(self):
+        a = self._solve(initial_sigma=1e-6)
+        b = self._solve()
+        # The alternation is initial-condition dependent (Algorithm 2 takes
+        # σ_t as an input); both runs must stay feasible, and the default
+        # start at the energy cap must not be worse than a tiny start.
+        assert a.sigma <= a.sigma_cap + 1e-12
+        assert b.error_term <= a.error_term + 1e-12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self._solve(data_sizes=[], channel_gains=[])
+        with pytest.raises(ValueError):
+            self._solve(model_bound=0.0)
+        with pytest.raises(ValueError):
+            self._solve(energy_budgets=[1.0])
+        with pytest.raises(ValueError):
+            self._solve(initial_sigma=0.0)

@@ -1,0 +1,118 @@
+"""Unit tests for label-distribution statistics (EMD, Table III quantities)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    average_emd,
+    emd,
+    group_class_counts,
+    group_data_sizes,
+    group_distributions,
+    group_emds,
+    make_mnist_like,
+    partition_label_skew,
+    worker_emds,
+)
+
+
+@pytest.fixture(scope="module")
+def skew_partition():
+    dataset = make_mnist_like(num_train=400, num_test=40, image_size=8, seed=3)
+    return partition_label_skew(dataset, num_workers=20, seed=3)
+
+
+class TestEMD:
+    def test_identical_distributions(self):
+        p = np.array([0.2, 0.3, 0.5])
+        assert emd(p, p) == 0.0
+
+    def test_disjoint_distributions_is_two(self):
+        assert emd(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == pytest.approx(2.0)
+
+    def test_paper_example_value(self):
+        """Single-class worker vs uniform 10-class global: EMD = 1.8 (Sec. VI-B3)."""
+        single = np.zeros(10)
+        single[0] = 1.0
+        uniform = np.full(10, 0.1)
+        assert emd(uniform, single) == pytest.approx(1.8)
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(0)
+        p = rng.dirichlet(np.ones(6))
+        q = rng.dirichlet(np.ones(6))
+        assert emd(p, q) == pytest.approx(emd(q, p))
+
+    def test_normalizes_unnormalized_inputs(self):
+        assert emd(np.array([2.0, 2.0]), np.array([5.0, 5.0])) == pytest.approx(0.0)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            emd(np.ones(3), np.ones(4))
+
+    def test_rejects_negative_entries(self):
+        with pytest.raises(ValueError):
+            emd(np.array([0.5, -0.5]), np.array([0.5, 0.5]))
+
+    def test_rejects_zero_sum(self):
+        with pytest.raises(ValueError):
+            emd(np.zeros(3), np.ones(3))
+
+
+class TestGroupStatistics:
+    def test_group_class_counts_sum(self, skew_partition):
+        groups = [[0, 1, 2], [3, 4], list(range(5, 20))]
+        counts = group_class_counts(skew_partition, groups)
+        assert counts.sum() == skew_partition.total_size
+
+    def test_group_data_sizes(self, skew_partition):
+        groups = [[0, 1], [2, 3, 4]]
+        sizes = group_data_sizes(skew_partition, groups)
+        expected0 = skew_partition.data_sizes()[[0, 1]].sum()
+        assert sizes[0] == expected0
+
+    def test_group_distributions_sum_to_one(self, skew_partition):
+        groups = [[0, 1, 2, 3], [4, 5, 6, 7]]
+        dist = group_distributions(skew_partition, groups)
+        np.testing.assert_allclose(dist.sum(axis=1), 1.0)
+
+    def test_rejects_worker_in_two_groups(self, skew_partition):
+        with pytest.raises(ValueError, match="more than one group"):
+            group_class_counts(skew_partition, [[0, 1], [1, 2]])
+
+    def test_rejects_invalid_worker(self, skew_partition):
+        with pytest.raises(ValueError, match="invalid worker"):
+            group_class_counts(skew_partition, [[0, 99]])
+
+    def test_single_group_of_everything_has_zero_emd(self, skew_partition):
+        groups = [list(range(skew_partition.num_workers))]
+        assert group_emds(skew_partition, groups)[0] == pytest.approx(0.0)
+
+    def test_singleton_groups_match_worker_emds(self, skew_partition):
+        singles = [[i] for i in range(skew_partition.num_workers)]
+        np.testing.assert_allclose(
+            group_emds(skew_partition, singles), worker_emds(skew_partition)
+        )
+
+    def test_worker_emds_close_to_paper_value(self, skew_partition):
+        """Single-label workers against a near-uniform global distribution."""
+        values = worker_emds(skew_partition)
+        assert np.all(values > 1.5)
+        assert np.all(values <= 2.0)
+
+    def test_average_emd_decreases_with_mixing(self, skew_partition):
+        """Mixing workers of different classes lowers the average EMD."""
+        # Workers 2i and 2i+1 hold the same class (paper block structure), so
+        # pairing same-class workers changes nothing, while pairing across
+        # blocks mixes two classes.
+        same_class_pairs = [[2 * i, 2 * i + 1] for i in range(10)]
+        cross_class_pairs = [[i, 10 + i] for i in range(10)]
+        assert average_emd(skew_partition, cross_class_pairs) < average_emd(
+            skew_partition, same_class_pairs
+        )
+
+    def test_average_emd_rejects_empty(self, skew_partition):
+        with pytest.raises(ValueError):
+            average_emd(skew_partition, [])

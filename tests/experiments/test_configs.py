@@ -1,0 +1,72 @@
+"""Unit tests for the experiment configurations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENT_CONFIGS,
+    cnn_cifar10_config,
+    cnn_mnist_config,
+    lr_mnist_config,
+    vgg_imagenet100_config,
+)
+from repro.experiments.configs import PAPER_DIMENSIONS
+
+
+class TestRegistry:
+    def test_all_four_workloads_present(self):
+        assert set(EXPERIMENT_CONFIGS) == {
+            "lr_mnist",
+            "cnn_mnist",
+            "cnn_cifar10",
+            "vgg_imagenet100",
+        }
+
+    def test_paper_dimensions_are_large(self):
+        """The latency model should describe paper-scale models, not the scaled ones."""
+        assert PAPER_DIMENSIONS["lr"] > 500_000
+        assert PAPER_DIMENSIONS["mini_vgg"] > 1_000_000
+
+
+class TestConfigConstruction:
+    def test_lr_mnist_builds_flat_model(self):
+        cfg = lr_mnist_config(num_workers=5, num_train=100, image_size=8)
+        assert cfg.flatten_inputs is True
+        model = cfg.model_factory()
+        dataset = cfg.dataset_factory()
+        assert model.dimension > 0
+        assert dataset.num_classes == 10
+
+    def test_cnn_mnist_model_consumes_dataset_shape(self):
+        cfg = cnn_mnist_config(num_workers=5, num_train=60, image_size=8)
+        model = cfg.model_factory()
+        ds = cfg.dataset_factory()
+        out = model.forward(ds.x_train[:2], training=False)
+        assert out.shape == (2, 10)
+
+    def test_cnn_cifar10_uses_three_channels(self):
+        cfg = cnn_cifar10_config(num_workers=5, num_train=60, image_size=8)
+        ds = cfg.dataset_factory()
+        assert ds.sample_shape[0] == 3
+
+    def test_vgg_config_class_count(self):
+        cfg = vgg_imagenet100_config(num_workers=5, num_train=200, image_size=8,
+                                     num_classes=10)
+        ds = cfg.dataset_factory()
+        model = cfg.model_factory()
+        assert ds.num_classes == 10
+        out = model.forward(ds.x_train[:1], training=False)
+        assert out.shape == (1, 10)
+
+    def test_scaled_overrides_fields(self):
+        cfg = lr_mnist_config(num_workers=5)
+        new = cfg.scaled(num_workers=9, learning_rate=0.5)
+        assert new.num_workers == 9
+        assert new.learning_rate == 0.5
+        # Original is unchanged (dataclasses.replace semantics).
+        assert cfg.num_workers == 5
+
+    def test_latency_dimension_set_from_paper_values(self):
+        assert lr_mnist_config().latency_model_dimension == PAPER_DIMENSIONS["lr"]
+        assert cnn_mnist_config().latency_model_dimension == PAPER_DIMENSIONS["mnist_cnn"]

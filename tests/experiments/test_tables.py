@@ -1,0 +1,38 @@
+"""Tests for the per-table experiment drivers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import emd_comparison, lr_mnist_config, mechanism_comparison
+
+
+class TestEMDComparison:
+    def test_original_matches_paper_value(self):
+        """Single-label workers over 10 balanced classes give EMD = 1.8."""
+        result = emd_comparison(num_workers=20, num_tiers=4, seed=0)
+        assert result["original"] == pytest.approx(1.8, abs=0.05)
+
+    def test_ordering_matches_table_iii(self):
+        """Air-FedGA grouping reduces EMD below TiFL, which is below Original."""
+        result = emd_comparison(num_workers=30, num_tiers=5, seed=0)
+        assert result["air_fedga"] < result["tifl"] < result["original"]
+
+    def test_values_within_emd_range(self):
+        result = emd_comparison(num_workers=20, num_tiers=4, seed=1)
+        for value in result.values():
+            assert 0.0 <= value <= 2.0
+
+
+class TestMechanismComparison:
+    def test_probe_reports_all_mechanisms(self):
+        cfg = lr_mnist_config(
+            num_workers=6, num_train=120, image_size=8, hidden=8, max_rounds=3
+        ).scaled(eval_every=1, max_eval_samples=40, local_steps=1)
+        result = mechanism_comparison(
+            config=cfg, mechanisms=("fedavg", "air_fedga"), max_rounds=3
+        )
+        assert set(result) == {"fedavg", "air_fedga"}
+        for row in result.values():
+            assert row["avg_round_time_s"] > 0
+            assert 0.0 <= row["final_accuracy"] <= 1.0

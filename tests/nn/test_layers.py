@@ -1,0 +1,309 @@
+"""Unit tests for neural-network layers, including numerical gradient checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Conv2D, Dense, Dropout, Flatten, MaxPool2D, ReLU, col2im, im2col
+from repro.nn.layers import collect_parameters
+
+
+RNG = np.random.default_rng(0)
+
+
+def numerical_gradient(forward, x, eps=1e-6):
+    """Central-difference gradient of a scalar-valued ``forward(x)``."""
+    grad = np.zeros_like(x)
+    flat = x.ravel()
+    gflat = grad.ravel()
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        plus = forward(x)
+        flat[i] = orig - eps
+        minus = forward(x)
+        flat[i] = orig
+        gflat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+class TestDense:
+    def test_forward_shape(self):
+        layer = Dense("fc", 4, 3, np.random.default_rng(0))
+        out = layer.forward(np.ones((5, 4)))
+        assert out.shape == (5, 3)
+
+    def test_forward_matches_matmul(self):
+        layer = Dense("fc", 4, 3, np.random.default_rng(0))
+        x = np.random.default_rng(1).standard_normal((5, 4))
+        expected = x @ layer.weight.value + layer.bias.value
+        np.testing.assert_allclose(layer.forward(x), expected)
+
+    def test_no_bias_option(self):
+        layer = Dense("fc", 4, 3, np.random.default_rng(0), bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters) == 1
+
+    def test_input_validation(self):
+        layer = Dense("fc", 4, 3, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            layer.forward(np.ones((5, 7)))
+        with pytest.raises(ValueError):
+            layer.forward(np.ones(4))
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            Dense("fc", 0, 3, np.random.default_rng(0))
+
+    def test_backward_before_forward_raises(self):
+        layer = Dense("fc", 4, 3, np.random.default_rng(0))
+        with pytest.raises(RuntimeError):
+            layer.backward(np.ones((5, 3)))
+
+    def test_backward_input_gradient_matches_numerical(self):
+        rng = np.random.default_rng(2)
+        layer = Dense("fc", 3, 2, rng)
+        x = rng.standard_normal((4, 3))
+        target = rng.standard_normal((4, 2))
+
+        def loss_of_x(xv):
+            out = xv @ layer.weight.value + layer.bias.value
+            return float(((out - target) ** 2).sum())
+
+        out = layer.forward(x)
+        grad_out = 2 * (out - target)
+        grad_x = layer.backward(grad_out)
+        num = numerical_gradient(loss_of_x, x.copy())
+        np.testing.assert_allclose(grad_x, num, rtol=1e-5, atol=1e-7)
+
+    def test_backward_weight_gradient_matches_numerical(self):
+        rng = np.random.default_rng(3)
+        layer = Dense("fc", 3, 2, rng)
+        x = rng.standard_normal((4, 3))
+        target = rng.standard_normal((4, 2))
+
+        def loss_of_w(wv):
+            out = x @ wv + layer.bias.value
+            return float(((out - target) ** 2).sum())
+
+        out = layer.forward(x)
+        layer.backward(2 * (out - target))
+        num = numerical_gradient(loss_of_w, layer.weight.value.copy())
+        np.testing.assert_allclose(layer.weight.grad, num, rtol=1e-5, atol=1e-7)
+
+    def test_gradients_accumulate_across_calls(self):
+        rng = np.random.default_rng(4)
+        layer = Dense("fc", 3, 2, rng)
+        x = np.ones((2, 3))
+        layer.forward(x)
+        layer.backward(np.ones((2, 2)))
+        first = layer.weight.grad.copy()
+        layer.forward(x)
+        layer.backward(np.ones((2, 2)))
+        np.testing.assert_allclose(layer.weight.grad, 2 * first)
+
+
+class TestReLU:
+    def test_forward_clamps_negative(self):
+        layer = ReLU("r")
+        out = layer.forward(np.array([[-1.0, 0.0, 2.0]]))
+        np.testing.assert_allclose(out, [[0.0, 0.0, 2.0]])
+
+    def test_backward_masks_gradient(self):
+        layer = ReLU("r")
+        layer.forward(np.array([[-1.0, 3.0]]))
+        grad = layer.backward(np.array([[5.0, 7.0]]))
+        np.testing.assert_allclose(grad, [[0.0, 7.0]])
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            ReLU("r").backward(np.ones((1, 1)))
+
+    def test_has_no_parameters(self):
+        assert ReLU("r").parameters == []
+
+
+class TestFlatten:
+    def test_roundtrip_shape(self):
+        layer = Flatten("f")
+        x = np.arange(24.0).reshape(2, 3, 2, 2)
+        out = layer.forward(x)
+        assert out.shape == (2, 12)
+        back = layer.backward(out)
+        assert back.shape == x.shape
+        np.testing.assert_allclose(back, x)
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            Flatten("f").backward(np.ones((1, 4)))
+
+
+class TestDropout:
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout("d", 1.0, np.random.default_rng(0))
+
+    def test_inactive_at_eval(self):
+        layer = Dropout("d", 0.5, np.random.default_rng(0))
+        x = np.ones((4, 4))
+        np.testing.assert_allclose(layer.forward(x, training=False), x)
+
+    def test_inverted_scaling_preserves_expectation(self):
+        layer = Dropout("d", 0.5, np.random.default_rng(0))
+        x = np.ones((200, 200))
+        out = layer.forward(x, training=True)
+        assert abs(out.mean() - 1.0) < 0.05
+
+    def test_backward_applies_same_mask(self):
+        layer = Dropout("d", 0.5, np.random.default_rng(0))
+        x = np.ones((10, 10))
+        out = layer.forward(x, training=True)
+        grad = layer.backward(np.ones_like(x))
+        np.testing.assert_allclose(grad, out)
+
+    def test_zero_rate_is_identity(self):
+        layer = Dropout("d", 0.0, np.random.default_rng(0))
+        x = np.random.default_rng(1).standard_normal((3, 3))
+        np.testing.assert_allclose(layer.forward(x, training=True), x)
+
+
+class TestIm2Col:
+    def test_known_values(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        cols, (oh, ow) = im2col(x, (2, 2), stride=2)
+        assert (oh, ow) == (2, 2)
+        assert cols.shape == (4, 4)
+        np.testing.assert_allclose(cols[0], [0, 1, 4, 5])
+        np.testing.assert_allclose(cols[3], [10, 11, 14, 15])
+
+    def test_padding_increases_output(self):
+        x = np.ones((1, 1, 3, 3))
+        _, (oh, ow) = im2col(x, (3, 3), stride=1, padding=1)
+        assert (oh, ow) == (3, 3)
+
+    def test_kernel_too_large_raises(self):
+        with pytest.raises(ValueError):
+            im2col(np.ones((1, 1, 2, 2)), (5, 5))
+
+    def test_col2im_inverts_for_non_overlapping(self):
+        x = np.random.default_rng(0).standard_normal((2, 3, 4, 4))
+        cols, _ = im2col(x, (2, 2), stride=2)
+        rec = col2im(cols, x.shape, (2, 2), stride=2)
+        np.testing.assert_allclose(rec, x)
+
+    def test_col2im_accumulates_overlaps(self):
+        x = np.ones((1, 1, 3, 3))
+        cols, _ = im2col(x, (2, 2), stride=1)
+        rec = col2im(cols, x.shape, (2, 2), stride=1)
+        # The centre pixel is covered by all four 2x2 windows.
+        assert rec[0, 0, 1, 1] == pytest.approx(4.0)
+        assert rec[0, 0, 0, 0] == pytest.approx(1.0)
+
+
+class TestConv2D:
+    def test_forward_shape(self):
+        layer = Conv2D("c", 3, 8, 3, np.random.default_rng(0), padding=1)
+        out = layer.forward(np.zeros((2, 3, 8, 8)))
+        assert out.shape == (2, 8, 8, 8)
+
+    def test_forward_matches_direct_convolution(self):
+        rng = np.random.default_rng(5)
+        layer = Conv2D("c", 2, 3, 3, rng, padding=0)
+        x = rng.standard_normal((1, 2, 5, 5))
+        out = layer.forward(x)
+        # Direct computation at one output location.
+        patch = x[0, :, 1:4, 2:5]
+        expected = (layer.weight.value[1] * patch).sum() + layer.bias.value[1]
+        assert out[0, 1, 1, 2] == pytest.approx(expected)
+
+    def test_input_channel_validation(self):
+        layer = Conv2D("c", 3, 4, 3, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((1, 2, 8, 8)))
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            Conv2D("c", 1, 1, 0, np.random.default_rng(0))
+
+    def test_backward_before_forward_raises(self):
+        layer = Conv2D("c", 1, 1, 3, np.random.default_rng(0))
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 1, 6, 6)))
+
+    def test_backward_input_gradient_matches_numerical(self):
+        rng = np.random.default_rng(6)
+        layer = Conv2D("c", 1, 2, 3, rng, padding=1)
+        x = rng.standard_normal((1, 1, 4, 4))
+
+        def loss_of_x(xv):
+            out = layer.forward(xv, training=False)
+            return float((out**2).sum())
+
+        out = layer.forward(x)
+        grad_x = layer.backward(2 * out)
+        num = numerical_gradient(loss_of_x, x.copy())
+        np.testing.assert_allclose(grad_x, num, rtol=1e-4, atol=1e-6)
+
+    def test_backward_weight_gradient_matches_numerical(self):
+        rng = np.random.default_rng(7)
+        layer = Conv2D("c", 1, 1, 3, rng, padding=0)
+        x = rng.standard_normal((2, 1, 4, 4))
+
+        def loss_of_w(wv):
+            old = layer.weight.value.copy()
+            layer.weight.value[...] = wv
+            out = layer.forward(x, training=False)
+            layer.weight.value[...] = old
+            return float((out**2).sum())
+
+        out = layer.forward(x)
+        layer.backward(2 * out)
+        num = numerical_gradient(loss_of_w, layer.weight.value.copy())
+        np.testing.assert_allclose(layer.weight.grad, num, rtol=1e-4, atol=1e-6)
+
+
+class TestMaxPool2D:
+    def test_forward_known_values(self):
+        layer = MaxPool2D("p", 2)
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = layer.forward(x)
+        np.testing.assert_allclose(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_non_divisible_raises(self):
+        layer = MaxPool2D("p", 2)
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((1, 1, 5, 5)))
+
+    def test_invalid_pool_size(self):
+        with pytest.raises(ValueError):
+            MaxPool2D("p", 0)
+
+    def test_backward_routes_gradient_to_max(self):
+        layer = MaxPool2D("p", 2)
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        layer.forward(x)
+        grad = layer.backward(np.ones((1, 1, 2, 2)))
+        assert grad[0, 0, 1, 1] == 1.0  # position of 5
+        assert grad[0, 0, 3, 3] == 1.0  # position of 15
+        assert grad.sum() == pytest.approx(4.0)
+
+    def test_backward_splits_gradient_on_ties(self):
+        layer = MaxPool2D("p", 2)
+        x = np.ones((1, 1, 2, 2))
+        layer.forward(x)
+        grad = layer.backward(np.ones((1, 1, 1, 1)))
+        # All four entries tie; the unit gradient must be split, not copied.
+        assert grad.sum() == pytest.approx(1.0)
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            MaxPool2D("p", 2).backward(np.zeros((1, 1, 2, 2)))
+
+
+class TestCollectParameters:
+    def test_collects_in_layer_order(self):
+        rng = np.random.default_rng(0)
+        layers = [Dense("fc1", 2, 3, rng), ReLU("r"), Dense("fc2", 3, 1, rng)]
+        params = collect_parameters(layers)
+        assert params.names() == ["fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias"]

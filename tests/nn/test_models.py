@@ -1,0 +1,154 @@
+"""Unit tests for the model architectures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    MODEL_REGISTRY,
+    CifarCNN,
+    LogisticRegressionMLP,
+    MiniVGG,
+    MnistCNN,
+    SGD,
+    build_model,
+)
+
+
+class TestRegistry:
+    def test_contains_all_paper_models(self):
+        assert set(MODEL_REGISTRY) == {"lr", "mnist_cnn", "cifar_cnn", "mini_vgg"}
+
+    def test_build_model_by_name(self):
+        model = build_model("lr", input_dim=16, hidden=8, num_classes=3)
+        assert model.dimension > 0
+
+    def test_build_model_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown model"):
+            build_model("resnet50")
+
+
+class TestLogisticRegressionMLP:
+    def test_default_parameter_count_matches_paper_architecture(self):
+        # 784*512 + 512 + 512*512 + 512 + 512*10 + 10
+        model = LogisticRegressionMLP()
+        expected = 784 * 512 + 512 + 512 * 512 + 512 + 512 * 10 + 10
+        assert model.dimension == expected
+
+    def test_forward_shape(self):
+        model = LogisticRegressionMLP(input_dim=16, hidden=8, num_classes=4)
+        out = model.forward(np.zeros((5, 16)), training=False)
+        assert out.shape == (5, 4)
+
+    def test_identical_seeds_give_identical_models(self):
+        a = LogisticRegressionMLP(input_dim=16, hidden=8, seed=3)
+        b = LogisticRegressionMLP(input_dim=16, hidden=8, seed=3)
+        np.testing.assert_array_equal(a.get_vector(), b.get_vector())
+
+    def test_different_seeds_differ(self):
+        a = LogisticRegressionMLP(input_dim=16, hidden=8, seed=3)
+        b = LogisticRegressionMLP(input_dim=16, hidden=8, seed=4)
+        assert not np.array_equal(a.get_vector(), b.get_vector())
+
+    def test_vector_roundtrip(self):
+        model = LogisticRegressionMLP(input_dim=16, hidden=8)
+        vec = model.get_vector()
+        model.set_vector(vec * 2.0)
+        np.testing.assert_allclose(model.get_vector(), vec * 2.0)
+
+    def test_training_reduces_loss(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((64, 16))
+        y = (x[:, 0] > 0).astype(int)
+        model = LogisticRegressionMLP(input_dim=16, hidden=8, num_classes=2, seed=0)
+        opt = SGD(model.parameters, lr=0.2)
+        first_loss = None
+        for _ in range(100):
+            opt.zero_grad()
+            loss = model.loss_and_grad(x, y)
+            if first_loss is None:
+                first_loss = loss
+            opt.step()
+        final_loss, acc = model.evaluate(x, y)
+        assert final_loss < first_loss * 0.6
+        assert acc > 0.8
+
+
+class TestMnistCNN:
+    def test_forward_shape(self):
+        model = MnistCNN(image_size=8, scale=0.1, seed=0)
+        out = model.forward(np.zeros((2, 1, 8, 8)), training=False)
+        assert out.shape == (2, 10)
+
+    def test_rejects_bad_image_size(self):
+        with pytest.raises(ValueError):
+            MnistCNN(image_size=10)
+
+    def test_scale_reduces_dimension(self):
+        small = MnistCNN(image_size=8, scale=0.1, seed=0)
+        big = MnistCNN(image_size=8, scale=0.5, seed=0)
+        assert small.dimension < big.dimension
+
+    def test_backward_produces_gradients(self):
+        model = MnistCNN(image_size=8, scale=0.1, seed=0)
+        x = np.random.default_rng(0).standard_normal((4, 1, 8, 8))
+        y = np.array([0, 1, 2, 3])
+        model.zero_grad()
+        model.loss_and_grad(x, y)
+        grads = model.parameters.grad_vector()
+        assert np.linalg.norm(grads) > 0
+
+
+class TestCifarCNN:
+    def test_forward_shape(self):
+        model = CifarCNN(image_size=8, scale=0.1, seed=0)
+        out = model.forward(np.zeros((3, 3, 8, 8)), training=False)
+        assert out.shape == (3, 10)
+
+    def test_rejects_bad_image_size(self):
+        with pytest.raises(ValueError):
+            CifarCNN(image_size=9)
+
+
+class TestMiniVGG:
+    def test_forward_shape(self):
+        model = MiniVGG(image_size=8, num_classes=5, base_channels=2, blocks=2,
+                        hidden=8, seed=0)
+        out = model.forward(np.zeros((2, 3, 8, 8)), training=False)
+        assert out.shape == (2, 5)
+
+    def test_block_count_validation(self):
+        with pytest.raises(ValueError):
+            MiniVGG(blocks=0)
+        with pytest.raises(ValueError):
+            MiniVGG(image_size=8, blocks=4)  # 8 not divisible by 16
+
+    def test_deeper_has_more_conv_layers(self):
+        shallow = MiniVGG(image_size=16, blocks=2, base_channels=2, hidden=8, seed=0)
+        deep = MiniVGG(image_size=16, blocks=3, base_channels=2, hidden=8, seed=0)
+        conv_names = lambda m: [n for n in m.parameters.names() if "conv" in n]
+        assert len(conv_names(deep)) > len(conv_names(shallow))
+
+
+class TestModelEvaluate:
+    def test_evaluate_on_empty_dataset(self):
+        model = LogisticRegressionMLP(input_dim=4, hidden=4, num_classes=2)
+        loss, acc = model.evaluate(np.zeros((0, 4)), np.zeros(0, dtype=int))
+        assert loss == 0.0 and acc == 0.0
+
+    def test_evaluate_batches_cover_all_samples(self):
+        model = LogisticRegressionMLP(input_dim=4, hidden=4, num_classes=2, seed=0)
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((100, 4))
+        y = rng.integers(0, 2, size=100)
+        full_loss, full_acc = model.evaluate(x, y, batch_size=1000)
+        batched_loss, batched_acc = model.evaluate(x, y, batch_size=7)
+        assert batched_loss == pytest.approx(full_loss)
+        assert batched_acc == pytest.approx(full_acc)
+
+    def test_evaluate_does_not_change_parameters(self):
+        model = LogisticRegressionMLP(input_dim=4, hidden=4, num_classes=2, seed=0)
+        before = model.get_vector()
+        model.evaluate(np.ones((10, 4)), np.zeros(10, dtype=int))
+        np.testing.assert_array_equal(model.get_vector(), before)

@@ -1,0 +1,106 @@
+"""Unit tests for the SGD optimizer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Parameter, ParameterSet
+
+
+def make_params(values=(1.0, 2.0)):
+    return ParameterSet([Parameter("w", np.array(values))])
+
+
+class TestValidation:
+    def test_rejects_nonpositive_lr(self):
+        with pytest.raises(ValueError):
+            SGD(make_params(), lr=0.0)
+
+    def test_rejects_bad_momentum(self):
+        with pytest.raises(ValueError):
+            SGD(make_params(), lr=0.1, momentum=1.0)
+        with pytest.raises(ValueError):
+            SGD(make_params(), lr=0.1, momentum=-0.1)
+
+    def test_rejects_negative_weight_decay(self):
+        with pytest.raises(ValueError):
+            SGD(make_params(), lr=0.1, weight_decay=-1.0)
+
+    def test_set_lr_validation(self):
+        opt = SGD(make_params(), lr=0.1)
+        with pytest.raises(ValueError):
+            opt.set_lr(-1.0)
+        opt.set_lr(0.5)
+        assert opt.lr == 0.5
+
+
+class TestPlainSGD:
+    def test_step_is_paper_update_rule(self):
+        params = make_params()
+        params["w"].accumulate_grad(np.array([0.5, -0.5]))
+        SGD(params, lr=0.1).step()
+        np.testing.assert_allclose(params["w"].value, [0.95, 2.05])
+
+    def test_skips_params_without_grad(self):
+        params = make_params()
+        SGD(params, lr=0.1).step()
+        np.testing.assert_allclose(params["w"].value, [1.0, 2.0])
+
+    def test_zero_grad_clears(self):
+        params = make_params()
+        params["w"].accumulate_grad(np.array([1.0, 1.0]))
+        opt = SGD(params, lr=0.1)
+        opt.zero_grad()
+        np.testing.assert_allclose(params["w"].grad, 0.0)
+
+    def test_converges_on_quadratic(self):
+        # Minimize f(w) = ||w - target||^2 with exact gradients.
+        target = np.array([3.0, -2.0])
+        params = ParameterSet([Parameter("w", np.zeros(2))])
+        opt = SGD(params, lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            params["w"].accumulate_grad(2 * (params["w"].value - target))
+            opt.step()
+        np.testing.assert_allclose(params["w"].value, target, atol=1e-6)
+
+
+class TestMomentumAndWeightDecay:
+    def test_momentum_accumulates_velocity(self):
+        params = make_params((0.0,))
+        opt = SGD(params, lr=1.0, momentum=0.5)
+        for _ in range(2):
+            opt.zero_grad()
+            params["w"].accumulate_grad(np.array([1.0]))
+            opt.step()
+        # First step: -1.  Second step: velocity = 0.5*1 + 1 = 1.5 -> total -2.5.
+        np.testing.assert_allclose(params["w"].value, [-2.5])
+
+    def test_momentum_faster_than_plain_on_quadratic(self):
+        def run(momentum):
+            params = ParameterSet([Parameter("w", np.array([10.0]))])
+            opt = SGD(params, lr=0.01, momentum=momentum)
+            for _ in range(100):
+                opt.zero_grad()
+                params["w"].accumulate_grad(2 * params["w"].value)
+                opt.step()
+            return abs(float(params["w"].value[0]))
+
+        assert run(0.8) < run(0.0)
+
+    def test_weight_decay_shrinks_weights(self):
+        params = make_params((1.0,))
+        opt = SGD(params, lr=0.1, weight_decay=0.5)
+        opt.zero_grad()
+        params["w"].accumulate_grad(np.array([0.0]))
+        opt.step()
+        # update = lr * (grad + wd * w) = 0.1 * 0.5 = 0.05
+        np.testing.assert_allclose(params["w"].value, [0.95])
+
+    def test_weight_decay_does_not_modify_grad_buffer(self):
+        params = make_params((1.0,))
+        opt = SGD(params, lr=0.1, weight_decay=0.5)
+        params["w"].accumulate_grad(np.array([1.0]))
+        opt.step()
+        np.testing.assert_allclose(params["w"].grad, [1.0])

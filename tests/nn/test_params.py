@@ -1,0 +1,209 @@
+"""Unit tests for parameter containers and vector conversion."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Parameter,
+    ParameterSet,
+    ParameterVector,
+    flatten_parameters,
+    unflatten_vector,
+)
+
+
+class TestParameter:
+    def test_value_is_float64_and_contiguous(self):
+        p = Parameter("w", np.arange(6, dtype=np.int32).reshape(2, 3))
+        assert p.value.dtype == np.float64
+        assert p.value.flags["C_CONTIGUOUS"]
+
+    def test_shape_and_size(self):
+        p = Parameter("w", np.zeros((3, 4)))
+        assert p.shape == (3, 4)
+        assert p.size == 12
+
+    def test_ensure_grad_allocates_zeros(self):
+        p = Parameter("w", np.ones((2, 2)))
+        g = p.ensure_grad()
+        assert g.shape == (2, 2)
+        assert np.all(g == 0.0)
+
+    def test_accumulate_grad_adds(self):
+        p = Parameter("w", np.ones((2,)))
+        p.accumulate_grad(np.array([1.0, 2.0]))
+        p.accumulate_grad(np.array([0.5, 0.5]))
+        np.testing.assert_allclose(p.grad, [1.5, 2.5])
+
+    def test_zero_grad_in_place(self):
+        p = Parameter("w", np.ones((2,)))
+        p.accumulate_grad(np.array([1.0, 2.0]))
+        buf = p.grad
+        p.zero_grad()
+        assert p.grad is buf
+        assert np.all(p.grad == 0.0)
+
+    def test_zero_grad_noop_when_unallocated(self):
+        p = Parameter("w", np.ones((2,)))
+        p.zero_grad()  # must not raise
+        assert p.grad is None
+
+
+class TestParameterSet:
+    def _make(self):
+        return ParameterSet(
+            [
+                Parameter("a", np.arange(6, dtype=float).reshape(2, 3)),
+                Parameter("b", np.array([10.0, 20.0])),
+            ]
+        )
+
+    def test_len_and_iteration_order(self):
+        ps = self._make()
+        assert len(ps) == 2
+        assert [p.name for p in ps] == ["a", "b"]
+
+    def test_getitem_by_name_and_index(self):
+        ps = self._make()
+        assert ps["a"].shape == (2, 3)
+        assert ps[1].name == "b"
+
+    def test_contains(self):
+        ps = self._make()
+        assert "a" in ps and "missing" not in ps
+
+    def test_duplicate_name_rejected(self):
+        ps = self._make()
+        with pytest.raises(ValueError, match="duplicate"):
+            ps.add(Parameter("a", np.zeros(1)))
+
+    def test_total_size(self):
+        assert self._make().total_size == 8
+
+    def test_vector_roundtrip(self):
+        ps = self._make()
+        vec = ps.to_vector()
+        assert vec.shape == (8,)
+        ps2 = self._make()
+        ps2.from_vector(vec * 2)
+        np.testing.assert_allclose(ps2.to_vector(), vec * 2)
+
+    def test_to_vector_with_out_buffer(self):
+        ps = self._make()
+        buf = np.empty(8)
+        out = ps.to_vector(out=buf)
+        assert out is buf
+        np.testing.assert_allclose(out, ps.to_vector())
+
+    def test_from_vector_wrong_size(self):
+        ps = self._make()
+        with pytest.raises(ValueError):
+            ps.from_vector(np.zeros(7))
+
+    def test_grad_vector_zeros_when_unset(self):
+        ps = self._make()
+        np.testing.assert_allclose(ps.grad_vector(), np.zeros(8))
+
+    def test_grad_vector_reflects_accumulated_grads(self):
+        ps = self._make()
+        ps["b"].accumulate_grad(np.array([1.0, -1.0]))
+        gv = ps.grad_vector()
+        np.testing.assert_allclose(gv[6:], [1.0, -1.0])
+        np.testing.assert_allclose(gv[:6], 0.0)
+
+    def test_copy_is_deep(self):
+        ps = self._make()
+        cp = ps.copy()
+        cp["a"].value[0, 0] = 999.0
+        assert ps["a"].value[0, 0] == 0.0
+
+    def test_state_dict_roundtrip(self):
+        ps = self._make()
+        state = ps.state_dict()
+        ps2 = self._make()
+        for v in state.values():
+            v *= 3
+        ps2.load_state_dict(state)
+        np.testing.assert_allclose(ps2["a"].value, ps["a"].value * 3)
+
+    def test_load_state_dict_missing_key(self):
+        ps = self._make()
+        with pytest.raises(KeyError, match="missing"):
+            ps.load_state_dict({"a": np.zeros((2, 3))})
+
+    def test_load_state_dict_unexpected_key(self):
+        ps = self._make()
+        state = ps.state_dict()
+        state["zzz"] = np.zeros(1)
+        with pytest.raises(KeyError, match="unexpected"):
+            ps.load_state_dict(state)
+
+    def test_load_state_dict_shape_mismatch(self):
+        ps = self._make()
+        state = ps.state_dict()
+        state["b"] = np.zeros(3)
+        with pytest.raises(ValueError, match="shape mismatch"):
+            ps.load_state_dict(state)
+
+
+class TestParameterVector:
+    def test_flattens_input(self):
+        pv = ParameterVector(np.ones((2, 3)))
+        assert pv.data.shape == (6,)
+        assert pv.dimension == 6
+
+    def test_norm(self):
+        pv = ParameterVector(np.array([3.0, 4.0]))
+        assert pv.norm() == pytest.approx(5.0)
+
+    def test_copy_independent(self):
+        pv = ParameterVector(np.array([1.0, 2.0]), shapes=[(2,)])
+        cp = pv.copy()
+        cp.data[0] = 99.0
+        assert pv.data[0] == 1.0
+
+    def test_copy_into_checks_shape(self):
+        pv = ParameterVector(np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            pv.copy_into(np.zeros(3))
+        buf = np.zeros(2)
+        assert pv.copy_into(buf) is buf
+        np.testing.assert_allclose(buf, [1.0, 2.0])
+
+
+class TestFlattenUnflatten:
+    def test_roundtrip(self):
+        arrays = [np.arange(4.0).reshape(2, 2), np.array([5.0]), np.arange(6.0)]
+        vec = flatten_parameters(arrays)
+        blocks = unflatten_vector(vec, [a.shape for a in arrays])
+        for a, b in zip(arrays, blocks):
+            np.testing.assert_allclose(a, b)
+
+    def test_flatten_with_out(self):
+        arrays = [np.ones(3), np.zeros(2)]
+        out = np.empty(5)
+        res = flatten_parameters(arrays, out=out)
+        assert res is out
+        np.testing.assert_allclose(out, [1, 1, 1, 0, 0])
+
+    def test_flatten_out_wrong_size(self):
+        with pytest.raises(ValueError):
+            flatten_parameters([np.ones(3)], out=np.empty(4))
+
+    def test_unflatten_wrong_size(self):
+        with pytest.raises(ValueError):
+            unflatten_vector(np.zeros(5), [(2, 2)])
+
+    def test_unflatten_returns_views_when_possible(self):
+        vec = np.arange(4.0)
+        blocks = unflatten_vector(vec, [(2, 2)])
+        blocks[0][0, 0] = 42.0
+        assert vec[0] == 42.0
+
+    def test_scalar_shape_support(self):
+        vec = flatten_parameters([np.array(3.0), np.ones(2)])
+        blocks = unflatten_vector(vec, [(), (2,)])
+        assert blocks[0].shape == ()
+        assert float(blocks[0]) == 3.0

@@ -1,0 +1,118 @@
+"""Property-based tests for dataset partitioning and EMD statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    average_emd,
+    emd,
+    group_emds,
+    make_mnist_like,
+    partition_dirichlet,
+    partition_iid,
+    partition_label_skew,
+)
+
+
+# A single module-level dataset keeps the property tests fast.
+DATASET = make_mnist_like(num_train=300, num_test=30, image_size=8, seed=99)
+
+
+class TestPartitionProperties:
+    @given(
+        num_workers=st.integers(1, 40),
+        strategy=st.sampled_from(["iid", "label-skew"]),
+        seed=st.integers(0, 10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_partition_covers_dataset_exactly_once(self, num_workers, strategy, seed):
+        if strategy == "iid":
+            part = partition_iid(DATASET, num_workers, seed=seed)
+        else:
+            part = partition_label_skew(DATASET, num_workers, seed=seed)
+        all_idx = np.concatenate([ix for ix in part.indices if ix.size]) if part.num_workers else np.array([])
+        # No duplicates, no out-of-range indices, full coverage.
+        assert len(np.unique(all_idx)) == len(all_idx)
+        assert all_idx.min() >= 0 and all_idx.max() < DATASET.num_train
+        assert len(all_idx) == DATASET.num_train
+        part.validate()
+
+    @given(num_workers=st.integers(2, 20), alpha=st.floats(0.2, 10.0), seed=st.integers(0, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_dirichlet_partition_valid(self, num_workers, alpha, seed):
+        part = partition_dirichlet(DATASET, num_workers, alpha=alpha, seed=seed)
+        part.validate()
+        assert part.total_size == DATASET.num_train
+
+    @given(num_workers=st.integers(1, 30), seed=st.integers(0, 10))
+    @settings(max_examples=40, deadline=None)
+    def test_proportions_and_distributions_normalized(self, num_workers, seed):
+        part = partition_label_skew(DATASET, num_workers, seed=seed)
+        assert part.proportions().sum() == pytest.approx(1.0)
+        np.testing.assert_allclose(part.class_distribution().sum(axis=1), 1.0)
+        assert part.global_distribution().sum() == pytest.approx(1.0)
+
+
+distributions = st.lists(
+    st.floats(0.0, 1.0, allow_nan=False), min_size=2, max_size=12
+).filter(lambda xs: sum(xs) > 1e-6)
+
+
+class TestEMDProperties:
+    @given(p=distributions, data=st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_emd_bounds_and_identity(self, p, data):
+        q = data.draw(
+            st.lists(
+                st.floats(0.0, 1.0, allow_nan=False),
+                min_size=len(p), max_size=len(p),
+            ).filter(lambda xs: sum(xs) > 1e-6)
+        )
+        value = emd(np.array(p), np.array(q))
+        assert 0.0 <= value <= 2.0 + 1e-12
+        assert emd(np.array(p), np.array(p)) == pytest.approx(0.0)
+
+    @given(p=distributions, data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_emd_symmetry(self, p, data):
+        q = data.draw(
+            st.lists(
+                st.floats(0.0, 1.0, allow_nan=False),
+                min_size=len(p), max_size=len(p),
+            ).filter(lambda xs: sum(xs) > 1e-6)
+        )
+        assert emd(np.array(p), np.array(q)) == pytest.approx(
+            emd(np.array(q), np.array(p))
+        )
+
+    @given(num_workers=st.integers(2, 24), seed=st.integers(0, 6), data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_group_emds_within_bounds_for_random_groupings(
+        self, num_workers, seed, data
+    ):
+        part = partition_label_skew(DATASET, num_workers, seed=seed)
+        # Draw a random assignment of workers into up to 4 groups.
+        num_groups = data.draw(st.integers(1, min(4, num_workers)))
+        assignment = [
+            data.draw(st.integers(0, num_groups - 1)) for _ in range(num_workers)
+        ]
+        groups = [
+            [w for w, g in enumerate(assignment) if g == gid]
+            for gid in range(num_groups)
+        ]
+        groups = [g for g in groups if g]
+        values = group_emds(part, groups)
+        assert np.all(values >= 0.0)
+        assert np.all(values <= 2.0 + 1e-12)
+        assert 0.0 <= average_emd(part, groups) <= 2.0 + 1e-12
+
+    @given(num_workers=st.integers(2, 20), seed=st.integers(0, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_single_group_has_zero_emd(self, num_workers, seed):
+        """Grouping everyone together always matches the global distribution."""
+        part = partition_label_skew(DATASET, num_workers, seed=seed)
+        assert average_emd(part, [list(range(num_workers))]) == pytest.approx(0.0)

@@ -1,0 +1,106 @@
+"""Property-based tests for the worker-grouping algorithms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    AirFedGAConfig,
+    GroupingConfig,
+    GroupingProblem,
+    greedy_grouping,
+    random_grouping,
+    singleton_grouping,
+    tier_grouping,
+)
+from repro.core.timing import average_round_time, participation_frequencies
+
+
+@st.composite
+def grouping_problems(draw):
+    """Random small grouping problems with label-skewed class counts."""
+    num_workers = draw(st.integers(2, 16))
+    num_classes = draw(st.integers(2, 6))
+    xi = draw(st.sampled_from([0.0, 0.2, 0.5, 1.0]))
+    rng = np.random.default_rng(draw(st.integers(0, 1000)))
+    data_sizes = rng.integers(5, 50, size=num_workers).astype(float)
+    # Each worker holds one or two classes (label skew).
+    class_counts = np.zeros((num_workers, num_classes))
+    for w in range(num_workers):
+        classes = rng.choice(num_classes, size=rng.integers(1, 3), replace=False)
+        share = data_sizes[w] / len(classes)
+        for c in classes:
+            class_counts[w, c] = share
+    local_times = rng.uniform(1.0, 10.0, size=num_workers)
+    problem = GroupingProblem(
+        data_sizes=data_sizes,
+        class_counts=class_counts,
+        local_times=local_times,
+        model_dimension=draw(st.sampled_from([10_000, 500_000])),
+        config=AirFedGAConfig(grouping=GroupingConfig(xi=xi)),
+    )
+    return problem, xi
+
+
+class TestGreedyGroupingProperties:
+    @given(problem_and_xi=grouping_problems())
+    @settings(max_examples=40, deadline=None)
+    def test_partition_and_constraint_invariants(self, problem_and_xi):
+        """The greedy grouping always (a) assigns every worker exactly once,
+        (b) satisfies the ξ·Δl time-similarity constraint in every group, and
+        (c) produces normalized β and ψ vectors."""
+        problem, xi = problem_and_xi
+        result = greedy_grouping(problem)
+        assigned = sorted(w for g in result.groups for w in g)
+        assert assigned == list(range(problem.num_workers))
+
+        slack = xi * problem.time_spread()
+        for members, group_time in zip(result.groups, result.group_times):
+            waits = group_time - result.upload_latency - problem.local_times[list(members)]
+            assert np.all(waits <= slack + 1e-9)
+
+        assert result.betas.sum() == pytest.approx(1.0)
+        assert result.frequencies.sum() == pytest.approx(1.0)
+        assert np.all(result.lambdas >= -1e-12)
+        assert np.all(result.lambdas <= 2.0 + 1e-9)
+        assert result.tau_max_estimate >= 0.0
+
+    @given(problem_and_xi=grouping_problems())
+    @settings(max_examples=25, deadline=None)
+    def test_group_count_bounded_and_objective_finite(self, problem_and_xi):
+        problem, _ = problem_and_xi
+        result = greedy_grouping(problem)
+        assert 1 <= result.num_groups <= problem.num_workers
+        assert np.isfinite(result.objective)
+
+    @given(problem_and_xi=grouping_problems(), num_groups=st.integers(1, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_baseline_strategies_share_invariants(self, problem_and_xi, num_groups):
+        problem, _ = problem_and_xi
+        for result in (
+            tier_grouping(problem, num_groups=num_groups),
+            random_grouping(problem, num_groups=num_groups, seed=1),
+            singleton_grouping(problem),
+        ):
+            assigned = sorted(w for g in result.groups for w in g)
+            assert assigned == list(range(problem.num_workers))
+            assert result.betas.sum() == pytest.approx(1.0)
+
+
+class TestTimingConsistency:
+    @given(problem_and_xi=grouping_problems())
+    @settings(max_examples=30, deadline=None)
+    def test_round_time_consistent_with_group_times(self, problem_and_xi):
+        """The reported ψ and L are consistent with the reported group times."""
+        problem, _ = problem_and_xi
+        result = greedy_grouping(problem)
+        np.testing.assert_allclose(
+            result.frequencies, participation_frequencies(result.group_times)
+        )
+        # The average round time implied by the group times is bounded by the
+        # fastest group's completion time.
+        round_time = average_round_time(result.group_times)
+        assert round_time <= result.group_times.min() + 1e-9

@@ -1,0 +1,122 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Event, EventType, SimulationEngine, SimulationError
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert SimulationEngine().now == 0.0
+
+    def test_step_advances_clock_to_event_time(self):
+        engine = SimulationEngine()
+        engine.schedule_at(2.5, EventType.CUSTOM)
+        engine.step()
+        assert engine.now == 2.5
+
+    def test_events_processed_in_time_order(self):
+        engine = SimulationEngine()
+        order = []
+        engine.on(EventType.CUSTOM, lambda _e, ev: order.append(ev.payload["tag"]))
+        engine.schedule_at(3.0, EventType.CUSTOM, tag="c")
+        engine.schedule_at(1.0, EventType.CUSTOM, tag="a")
+        engine.schedule_at(2.0, EventType.CUSTOM, tag="b")
+        engine.run_until()
+        assert order == ["a", "b", "c"]
+
+    def test_simultaneous_events_in_schedule_order(self):
+        engine = SimulationEngine()
+        order = []
+        engine.on(EventType.CUSTOM, lambda _e, ev: order.append(ev.payload["tag"]))
+        engine.schedule_at(1.0, EventType.CUSTOM, tag="first")
+        engine.schedule_at(1.0, EventType.CUSTOM, tag="second")
+        engine.run_until()
+        assert order == ["first", "second"]
+
+    def test_schedule_after_uses_current_time(self):
+        engine = SimulationEngine()
+        engine.schedule_at(5.0, EventType.CUSTOM)
+        engine.step()
+        e = engine.schedule_after(2.0, EventType.CUSTOM)
+        assert e.time == 7.0
+
+    def test_cannot_schedule_in_the_past(self):
+        engine = SimulationEngine()
+        engine.schedule_at(5.0, EventType.CUSTOM)
+        engine.step()
+        with pytest.raises(SimulationError):
+            engine.schedule_at(1.0, EventType.CUSTOM)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            SimulationEngine().schedule_after(-1.0, EventType.CUSTOM)
+
+
+class TestHandlersAndRun:
+    def test_handlers_can_schedule_followups(self):
+        engine = SimulationEngine()
+        seen = []
+
+        def handler(eng, event):
+            seen.append(eng.now)
+            if len(seen) < 3:
+                eng.schedule_after(1.0, EventType.CUSTOM)
+
+        engine.on(EventType.CUSTOM, handler)
+        engine.schedule_at(1.0, EventType.CUSTOM)
+        engine.run_until()
+        assert seen == [1.0, 2.0, 3.0]
+
+    def test_multiple_handlers_all_called(self):
+        engine = SimulationEngine()
+        calls = []
+        engine.on(EventType.CUSTOM, lambda *_: calls.append("a"))
+        engine.on(EventType.CUSTOM, lambda *_: calls.append("b"))
+        engine.schedule_at(1.0, EventType.CUSTOM)
+        engine.run_until()
+        assert calls == ["a", "b"]
+
+    def test_run_until_stop_condition(self):
+        engine = SimulationEngine()
+        for t in range(1, 6):
+            engine.schedule_at(float(t), EventType.CUSTOM)
+        engine.run_until(stop=lambda: engine.now >= 3.0)
+        assert engine.now == 3.0
+        assert engine.pending == 2
+
+    def test_run_until_max_events(self):
+        engine = SimulationEngine()
+        for t in range(1, 6):
+            engine.schedule_at(float(t), EventType.CUSTOM)
+        processed = engine.run_until(max_events=2)
+        assert processed == 2
+
+    def test_run_until_max_time(self):
+        engine = SimulationEngine()
+        for t in range(1, 6):
+            engine.schedule_at(float(t), EventType.CUSTOM)
+        engine.run_until(max_time=3.5)
+        assert engine.now == 3.0
+        assert engine.pending == 2
+
+    def test_step_on_empty_queue_returns_none(self):
+        assert SimulationEngine().step() is None
+
+    def test_processed_counter(self):
+        engine = SimulationEngine()
+        engine.schedule_at(1.0, EventType.CUSTOM)
+        engine.schedule_at(2.0, EventType.CUSTOM)
+        engine.run_until()
+        assert engine.processed == 2
+
+    def test_reset(self):
+        engine = SimulationEngine()
+        engine.schedule_at(1.0, EventType.CUSTOM)
+        engine.step()
+        engine.reset()
+        assert engine.now == 0.0
+        assert engine.pending == 0
+        assert engine.processed == 0

@@ -1,0 +1,47 @@
+"""Unit tests for simulator event records."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Event, EventType, ExecuteMessage, ReadyMessage
+
+
+class TestEvent:
+    def test_create_sets_fields(self):
+        e = Event.create(1.5, EventType.WORKER_READY, worker_id=3)
+        assert e.time == 1.5
+        assert e.type is EventType.WORKER_READY
+        assert e.payload == {"worker_id": 3}
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            Event.create(-0.1, EventType.CUSTOM)
+
+    def test_ordering_by_time(self):
+        early = Event.create(1.0, EventType.CUSTOM)
+        late = Event.create(2.0, EventType.CUSTOM)
+        assert early < late
+
+    def test_ties_broken_by_creation_order(self):
+        first = Event.create(1.0, EventType.CUSTOM)
+        second = Event.create(1.0, EventType.CUSTOM)
+        assert first < second
+
+    def test_event_types(self):
+        assert {t.value for t in EventType} == {
+            "worker_ready",
+            "group_execute",
+            "aggregation_done",
+            "custom",
+        }
+
+
+class TestMessages:
+    def test_ready_message_fields(self):
+        msg = ReadyMessage(worker_id=2, group_id=1, sent_at=3.0)
+        assert (msg.worker_id, msg.group_id, msg.sent_at) == (2, 1, 3.0)
+
+    def test_execute_message_fields(self):
+        msg = ExecuteMessage(group_id=0, round_index=4, sent_at=7.0)
+        assert (msg.group_id, msg.round_index, msg.sent_at) == (0, 4, 7.0)
