@@ -1,0 +1,16 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
+
+.PHONY: test test-fast bench bench-quick
+
+test:            ## full tier-1 suite (tests/ + benchmarks/)
+	$(PYTHON) -m pytest -x -q
+
+test-fast:       ## unit/integration tests only
+	$(PYTHON) -m pytest tests -q
+
+bench:           ## perf suite (scalar reference vs vectorized engine), appends to BENCH_perf_v1.json
+	$(PYTHON) -m repro.experiments bench --label perf_v1
+
+bench-quick:     ## smaller/faster perf smoke run
+	$(PYTHON) -m repro.experiments bench --label perf_v1 --quick

@@ -1,0 +1,1 @@
+"""Performance benchmarks for the vectorized training/aggregation engine."""

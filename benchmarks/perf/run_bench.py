@@ -1,0 +1,27 @@
+#!/usr/bin/env python
+"""Run the performance benchmark suite and append to BENCH_<label>.json.
+
+Thin wrapper around :mod:`repro.experiments.bench` so the harness lives
+with the other benchmarks.  Usage::
+
+    PYTHONPATH=src python benchmarks/perf/run_bench.py [--quick] [--label perf_v1]
+
+Equivalent entry points: ``make bench`` and
+``python -m repro.experiments bench``.
+
+Tiers (each timed on the seed-equivalent ``engine="scalar"`` path and the
+vectorized ``engine="auto"`` path):
+
+1. one Air-FedGA grouped round at 10/50/200 workers (MLP workload),
+2. a fig4-style CNN-MNIST mini-run,
+3. ``aircomp_aggregate`` / ``ideal_group_average`` microbenchmarks.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.bench import main
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

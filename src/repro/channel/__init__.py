@@ -3,10 +3,13 @@
 from .fading import ChannelModel, RayleighFading, StaticChannel, build_channel
 from .aircomp import (
     AirCompResult,
+    AirCompWorkspace,
     aircomp_aggregate,
+    aircomp_aggregate_reference,
     aircomp_latency,
     aggregation_error_term,
     ideal_group_average,
+    ideal_group_average_reference,
 )
 from .oma import OMAConfig, ofdma_round_time, tdma_round_time, worker_upload_time
 from .energy import EnergyTracker, max_sigma_for_budget, transmit_energy
@@ -17,8 +20,11 @@ __all__ = [
     "StaticChannel",
     "build_channel",
     "AirCompResult",
+    "AirCompWorkspace",
     "aircomp_aggregate",
+    "aircomp_aggregate_reference",
     "ideal_group_average",
+    "ideal_group_average_reference",
     "aggregation_error_term",
     "aircomp_latency",
     "OMAConfig",

@@ -25,6 +25,7 @@ from .convergence import (
     theorem1_rho,
 )
 from .power_control import (
+    PowerControlCache,
     PowerControlResult,
     feasible_sigma,
     optimal_eta,
@@ -59,6 +60,7 @@ __all__ = [
     "rounds_to_epsilon",
     "grouping_objective",
     "ConvergenceBound",
+    "PowerControlCache",
     "PowerControlResult",
     "optimal_eta",
     "feasible_sigma",

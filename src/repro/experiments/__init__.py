@@ -21,6 +21,13 @@ from .figures import (
 from .tables import emd_comparison, mechanism_comparison
 from .reporting import format_float, format_mapping, format_series, format_table
 from .cli import EXPERIMENTS, run_experiment
+from .bench import (
+    bench_aggregation_micro,
+    bench_cnn_mnist_mini,
+    bench_grouped_round,
+    run_bench_suite,
+    write_bench_results,
+)
 
 __all__ = [
     "ExperimentConfig",
@@ -48,4 +55,9 @@ __all__ = [
     "format_float",
     "EXPERIMENTS",
     "run_experiment",
+    "bench_grouped_round",
+    "bench_cnn_mnist_mini",
+    "bench_aggregation_micro",
+    "run_bench_suite",
+    "write_bench_results",
 ]

@@ -1,0 +1,274 @@
+"""Performance benchmark harness for the vectorized training/aggregation engine.
+
+Three tiers, each timing the *same* simulation twice — once on the seed's
+sequential reference path (``engine="scalar"``: per-worker Python loops,
+per-member aggregation accumulation, no power-control cache) and once on the
+vectorized path (``engine="auto"``: group-batched matmuls, allocation-free
+``α @ A`` aggregation, memoized power control):
+
+1. **grouped_round** — one Air-FedGA grouped round on the MLP workload at
+   10/50/200 workers (the Fig. 10 scalability axis);
+2. **cnn_mnist_mini** — a full fig4-style CNN-MNIST mini-run (the CNN falls
+   back to scalar local training, so this isolates the aggregation/ReLU/
+   power-control wins);
+3. **aggregation_micro** — channel-level microbenchmarks of
+   ``aircomp_aggregate`` and ``ideal_group_average`` against their
+   reference loops at paper-scale model dimensions.
+
+Results are appended to ``BENCH_<label>.json`` so successive PRs build a
+benchmark trajectory.  Run via ``make bench``,
+``python -m repro.experiments bench`` or ``benchmarks/perf/run_bench.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..channel.aircomp import (
+    AirCompWorkspace,
+    aircomp_aggregate,
+    aircomp_aggregate_reference,
+    ideal_group_average,
+    ideal_group_average_reference,
+)
+from ..core.config import AirFedGAConfig, GroupingConfig
+from ..fl.registry import build_trainer
+from .configs import cnn_mnist_config, lr_mnist_config
+from .runner import build_experiment
+
+__all__ = [
+    "bench_grouped_round",
+    "bench_cnn_mnist_mini",
+    "bench_aggregation_micro",
+    "run_bench_suite",
+    "write_bench_results",
+    "main",
+]
+
+ENGINES = ("scalar", "auto")
+
+
+def bench_grouped_round(
+    num_workers: int, rounds_per_group: int = 3, repeats: int = 3
+) -> Dict[str, object]:
+    """Time Air-FedGA grouped rounds (scalar vs batched) at one worker count.
+
+    Uses the fig3 benchmark scale (8×8 inputs, 32 hidden units, batch 32,
+    5 local steps) with an IID partition so every worker trains the same
+    batch geometry, and ξ = 1 so one grouped round aggregates the whole
+    population — the configuration where the per-round cost is purest
+    local-training + AirComp aggregation.
+    """
+    timings: Dict[str, float] = {engine: float("inf") for engine in ENGINES}
+    num_groups = 0
+    total_rounds = 0
+    # Interleave the engines across repeats (best-of-N each) so slow drift
+    # in machine load biases neither side.
+    for _ in range(repeats):
+        for engine in ENGINES:
+            config = lr_mnist_config(
+                num_workers=num_workers,
+                num_train=20 * num_workers,
+                image_size=8,
+                hidden=32,
+                max_rounds=10_000,
+            ).scaled(
+                local_steps=5,
+                batch_size=32,
+                partition_strategy="iid",
+                # Effectively disable per-round evaluation so the timing
+                # isolates local training + aggregation (evaluation cost is
+                # identical on both engines and would dilute the comparison).
+                eval_every=1_000_000,
+                max_eval_samples=32,
+                engine=engine,
+                config=AirFedGAConfig(grouping=GroupingConfig(xi=1.0)),
+            )
+            experiment = build_experiment(config)
+            trainer = build_trainer("air_fedga", experiment)
+            num_groups = len(trainer.groups)
+            total_rounds = max(8, num_groups * rounds_per_group)
+            start = time.perf_counter()
+            trainer.run(max_rounds=total_rounds)
+            timings[engine] = min(
+                timings[engine], time.perf_counter() - start
+            )
+    per_round = {k: v / total_rounds for k, v in timings.items()}
+    return {
+        "num_workers": num_workers,
+        "num_groups": num_groups,
+        "rounds_timed": total_rounds,
+        "scalar_s_per_round": per_round["scalar"],
+        "batched_s_per_round": per_round["auto"],
+        "speedup": per_round["scalar"] / per_round["auto"],
+    }
+
+
+def bench_cnn_mnist_mini(max_rounds: int = 12) -> Dict[str, object]:
+    """Time a fig4-style CNN-MNIST mini-run (scalar local training on both
+    engines — Conv2D has no batched kernel yet — so the delta comes from
+    the allocation-free aggregation, the ReLU cleanup and the power-control
+    cache)."""
+    timings: Dict[str, float] = {}
+    for engine in ENGINES:
+        config = cnn_mnist_config(
+            num_workers=10, num_train=300, image_size=8, scale=0.1,
+            max_rounds=max_rounds,
+        ).scaled(
+            local_steps=2, batch_size=32, eval_every=1_000_000,
+            max_eval_samples=32, engine=engine,
+        )
+        experiment = build_experiment(config)
+        trainer = build_trainer("air_fedga", experiment)
+        start = time.perf_counter()
+        trainer.run(max_rounds=max_rounds)
+        timings[engine] = time.perf_counter() - start
+    return {
+        "max_rounds": max_rounds,
+        "scalar_s": timings["scalar"],
+        "vectorized_s": timings["auto"],
+        "speedup": timings["scalar"] / timings["auto"],
+    }
+
+
+def bench_aggregation_micro(
+    dim: int = 200_000, group_size: int = 16, repeats: int = 5
+) -> Dict[str, object]:
+    """Channel-level microbenchmark: vectorized vs reference aggregation."""
+    rng = np.random.default_rng(0)
+    models = rng.standard_normal((group_size, dim))
+    sizes = rng.uniform(10.0, 100.0, group_size)
+    gains = rng.uniform(0.5, 2.0, group_size)
+    kwargs = dict(
+        data_sizes=sizes, channel_gains=gains,
+        sigma_t=1.0, eta_t=1.0, noise_std=0.01,
+    )
+    workspace = AirCompWorkspace()
+
+    def _time(fn) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    noise_rng = np.random.default_rng(1)
+    t_ref_air = _time(
+        lambda: aircomp_aggregate_reference(list(models), rng=noise_rng, **kwargs)
+    )
+    t_vec_air = _time(
+        lambda: aircomp_aggregate(models, rng=noise_rng, workspace=workspace, **kwargs)
+    )
+    avg_out = np.empty(dim)
+    t_ref_avg = _time(lambda: ideal_group_average_reference(list(models), sizes))
+    t_vec_avg = _time(lambda: ideal_group_average(models, sizes, out=avg_out))
+    return {
+        "dim": dim,
+        "group_size": group_size,
+        "aircomp_reference_s": t_ref_air,
+        "aircomp_vectorized_s": t_vec_air,
+        "aircomp_speedup": t_ref_air / t_vec_air,
+        "average_reference_s": t_ref_avg,
+        "average_vectorized_s": t_vec_avg,
+        "average_speedup": t_ref_avg / t_vec_avg,
+    }
+
+
+# ----------------------------------------------------------------------
+def run_bench_suite(
+    quick: bool = False, worker_counts: Sequence[int] = (10, 50, 200)
+) -> Dict[str, object]:
+    """Run all three tiers and return one results record."""
+    if quick:
+        worker_counts = tuple(w for w in worker_counts if w <= 50) or (10,)
+    grouped = [
+        bench_grouped_round(
+            w,
+            rounds_per_group=1 if quick else 3,
+            repeats=1 if quick else 3,
+        )
+        for w in worker_counts
+    ]
+    cnn = bench_cnn_mnist_mini(max_rounds=4 if quick else 12)
+    micro = bench_aggregation_micro(
+        dim=50_000 if quick else 200_000, repeats=3 if quick else 5
+    )
+    return {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "quick": quick,
+        "grouped_round": grouped,
+        "cnn_mnist_mini": cnn,
+        "aggregation_micro": micro,
+    }
+
+
+def write_bench_results(
+    record: Dict[str, object], label: str = "perf_v1", output_dir: str | Path = "."
+) -> Path:
+    """Append one benchmark record to ``BENCH_<label>.json``."""
+    path = Path(output_dir) / f"BENCH_{label}.json"
+    if path.exists():
+        data = json.loads(path.read_text())
+        if not isinstance(data.get("runs"), list):
+            data = {"label": label, "runs": []}
+    else:
+        data = {"label": label, "runs": []}
+    data["runs"].append(record)
+    path.write_text(json.dumps(data, indent=2))
+    return path
+
+
+def format_bench_summary(record: Dict[str, object]) -> str:
+    lines = ["Perf benchmark summary (scalar reference vs vectorized engine):"]
+    for row in record["grouped_round"]:
+        lines.append(
+            f"  grouped round, {row['num_workers']:4d} workers "
+            f"({row['num_groups']} groups): "
+            f"{row['scalar_s_per_round'] * 1e3:8.1f} ms -> "
+            f"{row['batched_s_per_round'] * 1e3:8.1f} ms  "
+            f"({row['speedup']:.2f}x)"
+        )
+    cnn = record["cnn_mnist_mini"]
+    lines.append(
+        f"  CNN-MNIST mini-run ({cnn['max_rounds']} rounds): "
+        f"{cnn['scalar_s']:.2f} s -> {cnn['vectorized_s']:.2f} s "
+        f"({cnn['speedup']:.2f}x)"
+    )
+    micro = record["aggregation_micro"]
+    lines.append(
+        f"  aircomp_aggregate micro (q={micro['dim']}, G={micro['group_size']}): "
+        f"{micro['aircomp_speedup']:.2f}x; ideal average: "
+        f"{micro['average_speedup']:.2f}x"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.bench",
+        description="Time the vectorized engine against the scalar reference path.",
+    )
+    parser.add_argument("--label", default="perf_v1", help="suffix of BENCH_<label>.json")
+    parser.add_argument("--output-dir", default=".", help="where to write the JSON")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller sizes / fewer repeats (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--workers", type=int, nargs="+", default=[10, 50, 200],
+        help="worker counts for the grouped-round tier",
+    )
+    args = parser.parse_args(argv)
+    record = run_bench_suite(quick=args.quick, worker_counts=tuple(args.workers))
+    path = write_bench_results(record, label=args.label, output_dir=args.output_dir)
+    print(format_bench_summary(record))
+    print(f"appended results to {path}")
+    return 0

@@ -154,6 +154,16 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_p.add_argument("--max-time", type=float, default=1500.0)
     cmp_p.add_argument("--workers", type=int, default=None)
     cmp_p.add_argument("--output", "-o", default=None)
+
+    bench_p = sub.add_parser(
+        "bench",
+        help="time the vectorized engine vs the scalar reference path "
+        "(appends to BENCH_<label>.json)",
+    )
+    bench_p.add_argument("--label", default="perf_v1")
+    bench_p.add_argument("--output-dir", default=".")
+    bench_p.add_argument("--quick", action="store_true")
+    bench_p.add_argument("--workers", type=int, nargs="+", default=[10, 50, 200])
     return parser
 
 
@@ -212,4 +222,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "compare":
         print(_command_compare(args))
         return 0
+    if args.command == "bench":
+        from .bench import main as bench_main
+
+        bench_argv = ["--label", args.label, "--output-dir", args.output_dir]
+        if args.quick:
+            bench_argv.append("--quick")
+        bench_argv += ["--workers"] + [str(w) for w in args.workers]
+        return bench_main(bench_argv)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

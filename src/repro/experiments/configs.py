@@ -82,6 +82,10 @@ class ExperimentConfig:
     latency_model_dimension: Optional[int] = None
     config: AirFedGAConfig = field(default_factory=AirFedGAConfig)
     seed: int = 0
+    #: Local-training execution engine (see :class:`repro.fl.FLExperiment`):
+    #: "auto" (vectorized group-batched when supported), "batched", or
+    #: "scalar" (the seed's sequential reference path, benchmark baseline).
+    engine: str = "auto"
 
     def scaled(self, **overrides) -> "ExperimentConfig":
         """Return a copy with some fields overridden (for sweeps)."""

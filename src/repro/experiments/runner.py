@@ -93,6 +93,7 @@ def build_experiment(config: ExperimentConfig) -> FLExperiment:
         max_eval_samples=config.max_eval_samples,
         seed=config.seed,
         latency_model_dimension=config.latency_model_dimension,
+        engine=config.engine,
     )
 
 

@@ -129,7 +129,11 @@ class AirFedGATrainer(GroupedAsyncTrainer):
         local_vectors: Sequence[np.ndarray],
         round_index: int,
     ) -> Tuple[np.ndarray, Dict[str, float]]:
-        return self.aircomp_group_update(member_ids, local_vectors, round_index)
+        # Writing into the trainer-owned update buffer keeps the AirComp
+        # aggregation allocation-free (the event loop swaps it into place).
+        return self.aircomp_group_update(
+            member_ids, local_vectors, round_index, out=self._update_out
+        )
 
     def upload_time(self, member_ids: Sequence[int], round_index: int) -> float:
         # Over-the-air aggregation: the whole group transmits concurrently,

@@ -26,16 +26,23 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..channel.aircomp import aircomp_aggregate, aircomp_latency
+from ..channel.aircomp import (
+    AirCompWorkspace,
+    aircomp_aggregate,
+    aircomp_aggregate_reference,
+    aircomp_latency,
+)
 from ..channel.energy import EnergyTracker
 from ..channel.fading import ChannelModel
 from ..channel.oma import OMAConfig, tdma_round_time
 from ..core.config import AirFedGAConfig
-from ..core.power_control import solve_power_control
+from ..core.power_control import PowerControlCache, solve_power_control
 from ..data.partition import Partition
 from ..data.synthetic import Dataset
+from ..nn.batched import BatchedWorkerEngine
 from ..nn.models import Model
 from ..nn.optim import SGD
+from ..nn.params import parameter_dtype
 from ..sim.latency import LatencyTable
 from .history import RoundRecord, TrainingHistory
 
@@ -84,6 +91,15 @@ class FLExperiment:
     max_eval_samples: int = 512
     seed: int = 0
     oma: OMAConfig = field(default_factory=OMAConfig)
+    #: Local-training execution engine: ``"auto"`` uses the vectorized
+    #: group-batched engine whenever every model layer has a batched kernel
+    #: (Dense/ReLU/Flatten — i.e. the LR/MLP workloads) and falls back to
+    #: the per-worker scalar path otherwise; ``"batched"`` requires the
+    #: batched engine (raises if the model is unsupported); ``"scalar"``
+    #: forces the seed's sequential per-worker path (also switching
+    #: aggregation to the reference loop implementations — used as the
+    #: benchmark baseline).
+    engine: str = "auto"
     #: Model dimension used for *latency/energy* computations.  The paper's
     #: models have 10^5-10^8 parameters; the NumPy substrate trains scaled
     #: down versions, so experiments can pass the paper-scale dimension here
@@ -112,6 +128,10 @@ class FLExperiment:
             raise ValueError("max_eval_samples must be >= 1")
         if self.latency_model_dimension is not None and self.latency_model_dimension <= 0:
             raise ValueError("latency_model_dimension must be positive when given")
+        if self.engine not in ("auto", "batched", "scalar"):
+            raise ValueError(
+                f"engine must be 'auto', 'batched' or 'scalar', got {self.engine!r}"
+            )
 
     @property
     def num_workers(self) -> int:
@@ -126,7 +146,10 @@ class BaseTrainer:
 
     def __init__(self, experiment: FLExperiment) -> None:
         self.exp = experiment
-        self.model: Model = experiment.model_factory()
+        # The config dtype knob ("float32" simulation mode) applies to every
+        # parameter the factory constructs, and thereby to all O(q) buffers.
+        with parameter_dtype(experiment.config.dtype):
+            self.model: Model = experiment.model_factory()
         self.global_vector: np.ndarray = self.model.get_vector()
         self.data_sizes: np.ndarray = experiment.partition.data_sizes().astype(np.float64)
         if np.any(self.data_sizes <= 0):
@@ -153,23 +176,101 @@ class BaseTrainer:
         eval_idx = eval_rng.choice(n_test, size=take, replace=False)
         self._eval_x = experiment.dataset.x_test[eval_idx]
         self._eval_y = experiment.dataset.y_test[eval_idx]
+        # ------------------------------------------------------------------
+        # Vectorized hot-path machinery (see docs/PERFORMANCE.md):
+        # * a group-batched execution engine when every layer has a batched
+        #   kernel (None -> scalar per-worker fallback);
+        # * trainer-owned O(q) buffers so steady-state rounds perform no
+        #   model-sized allocations;
+        # * a memoized/warm-started power-control solver.
+        # ------------------------------------------------------------------
+        dim = self.model.dimension
+        dtype = self.global_vector.dtype
+        self._engine: Optional[BatchedWorkerEngine] = None
+        if experiment.engine in ("auto", "batched"):
+            self._engine = BatchedWorkerEngine.try_build(self.model)
+            if experiment.engine == "batched" and self._engine is None:
+                raise ValueError(
+                    "engine='batched' requested but the model contains layers "
+                    "without a batched kernel (e.g. Conv2D); use engine='auto'"
+                )
+        self._local_sgd: Optional[SGD] = None
+        self._update_out: np.ndarray = np.empty(dim, dtype=dtype)
+        self._agg_scratch: np.ndarray = np.empty(dim, dtype=dtype)
+        self._stack_bufs: Dict[int, np.ndarray] = {}
+        self._air_workspace = AirCompWorkspace()
+        cfg = experiment.config.aircomp
+        self._pc_cache: Optional[PowerControlCache] = (
+            PowerControlCache(
+                rel_tol=cfg.power_control_cache_rel_tol,
+                warm_start=cfg.power_control_warm_start,
+            )
+            if cfg.power_control_cache and experiment.engine != "scalar"
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    # Hot-path buffer helpers
+    # ------------------------------------------------------------------
+    @property
+    def pc_cache_hits(self) -> int:
+        """Cumulative power-control cache hits (0 when the cache is off)."""
+        return self._pc_cache.hits if self._pc_cache is not None else 0
+
+    @property
+    def pc_cache_misses(self) -> int:
+        return self._pc_cache.misses if self._pc_cache is not None else 0
+
+    def _group_stack(self, group_size: int) -> np.ndarray:
+        """Reusable ``(G, q)`` buffer holding a group's stacked local models."""
+        buf = self._stack_bufs.get(group_size)
+        if buf is None:
+            buf = np.empty(
+                (group_size, self.model.dimension), dtype=self.global_vector.dtype
+            )
+            self._stack_bufs[group_size] = buf
+        return buf
+
+    def _commit_global(self, new_global: np.ndarray) -> None:
+        """Install ``new_global`` as the global model.
+
+        When the aggregation wrote into the trainer-owned ``_update_out``
+        buffer, the buffer is swapped with the current global vector instead
+        of copied, keeping the round allocation-free.
+        """
+        if new_global is self._update_out:
+            self._update_out = self.global_vector
+        self.global_vector = new_global
 
     # ------------------------------------------------------------------
     # Worker-side local update (Eq. 4/5)
     # ------------------------------------------------------------------
     def local_update(
-        self, worker_id: int, base_vector: np.ndarray, round_index: int
+        self,
+        worker_id: int,
+        base_vector: np.ndarray,
+        round_index: int,
+        out: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Run the worker's local SGD starting from ``base_vector``.
 
-        Returns a fresh flat vector; ``base_vector`` is not modified.
+        Returns a flat vector (written into ``out`` when given);
+        ``base_vector`` is not modified.  The SGD object is reused across
+        calls (it is stateless at momentum 0); the batch-sampling RNG is
+        re-derived from ``(seed, worker_id, round_index)`` every call so
+        results stay deterministic and order-independent.
         """
         x, y = self._worker_data[worker_id]
         if x.shape[0] == 0:
             # A worker with no data returns the model unchanged.
-            return base_vector.copy()
+            if out is None:
+                return base_vector.copy()
+            np.copyto(out, base_vector)
+            return out
         self.model.set_vector(base_vector)
-        optimizer = SGD(self.model.parameters, lr=self.exp.learning_rate)
+        if self._local_sgd is None:
+            self._local_sgd = SGD(self.model.parameters, lr=self.exp.learning_rate)
+        optimizer = self._local_sgd
         rng = np.random.default_rng(
             np.random.SeedSequence([self.exp.seed, worker_id, round_index, 0x10CA1])
         )
@@ -180,7 +281,42 @@ class BaseTrainer:
             optimizer.zero_grad()
             self.model.loss_and_grad(x[idx], y[idx])
             optimizer.step()
-        return self.model.get_vector()
+        return self.model.get_vector(out=out)
+
+    def local_update_group(
+        self,
+        worker_ids: Sequence[int],
+        base_vector: np.ndarray,
+        round_index: int,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Local updates of a whole group, stacked as a ``(G, q)`` matrix.
+
+        Uses the vectorized :class:`~repro.nn.batched.BatchedWorkerEngine`
+        when available (one batched matmul per layer per SGD step for the
+        whole group), falling back to sequential :meth:`local_update` calls
+        otherwise.  Both paths draw identical per-worker mini-batches, so
+        they agree to ~1e-9 per parameter in float64.
+        """
+        ids = list(worker_ids)
+        if out is None:
+            out = self._group_stack(len(ids))
+        if self._engine is not None:
+            self._engine.run_group(
+                ids,
+                [self._worker_data[w] for w in ids],
+                base_vector,
+                round_index,
+                learning_rate=self.exp.learning_rate,
+                local_steps=self.exp.local_steps,
+                batch_size=self.exp.batch_size,
+                seed=self.exp.seed,
+                out=out,
+            )
+        else:
+            for k, w in enumerate(ids):
+                self.local_update(w, base_vector, round_index, out=out[k])
+        return out
 
     # ------------------------------------------------------------------
     # Evaluation
@@ -219,6 +355,7 @@ class BaseTrainer:
             cumulative_energy_j=self._cumulative_energy,
             sigma=sigma,
             eta=eta,
+            pc_cache_hits=self.pc_cache_hits,
         )
         self.history.append(record)
         return record
@@ -227,32 +364,62 @@ class BaseTrainer:
     # Aggregation primitives
     # ------------------------------------------------------------------
     def exact_group_update(
-        self, member_ids: Sequence[int], local_vectors: Sequence[np.ndarray]
+        self,
+        member_ids: Sequence[int],
+        local_vectors: Sequence[np.ndarray],
+        out: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Error-free OMA aggregation (Eq. 8).
 
         ``w_t = (1 − Σ α_i) w_{t−1} + Σ α_i w_i`` over the participating
         workers; with all workers participating this is exactly FedAvg.
+
+        The weighted sum is one ``α @ A`` matmul over the stacked ``(G, q)``
+        local-model matrix; pass ``out`` (the trainers pass their own
+        ``_update_out`` buffer) to make the call allocation-free.
+        ``local_vectors`` may be a sequence of flat vectors or an already
+        stacked 2-D array.
         """
         member_ids = list(member_ids)
         if len(member_ids) != len(local_vectors):
             raise ValueError("member_ids and local_vectors length mismatch")
         alphas = self.alphas[member_ids]
-        new_global = (1.0 - alphas.sum()) * self.global_vector
-        for a, vec in zip(alphas, local_vectors):
-            new_global = new_global + a * vec
-        return new_global
+        if self.exp.engine == "scalar":
+            # Seed-equivalent reference path (benchmark baseline).
+            new_global = (1.0 - alphas.sum()) * self.global_vector
+            for a, vec in zip(alphas, local_vectors):
+                new_global = new_global + a * vec
+            if out is not None:
+                np.copyto(out, new_global)
+                return out
+            return new_global
+        stacked = local_vectors
+        if not (isinstance(stacked, np.ndarray) and stacked.ndim == 2):
+            stacked = np.stack([np.asarray(v).ravel() for v in local_vectors])
+        if stacked.dtype not in (np.float32, np.float64):
+            stacked = stacked.astype(np.float64)
+        if out is None:
+            out = np.empty_like(self.global_vector)
+        # (1 − β) w_{t−1} goes into the scratch buffer *before* the matmul so
+        # that ``out`` may alias the current global vector.
+        np.multiply(self.global_vector, 1.0 - alphas.sum(), out=self._agg_scratch)
+        np.dot(alphas.astype(stacked.dtype, copy=False), stacked, out=out)
+        out += self._agg_scratch
+        return out
 
     def aircomp_group_update(
         self,
         member_ids: Sequence[int],
         local_vectors: Sequence[np.ndarray],
         round_index: int,
+        out: Optional[np.ndarray] = None,
     ) -> Tuple[np.ndarray, Dict[str, float]]:
         """One over-the-air aggregation with power control (Eqs. 6-10).
 
         Returns the new global vector and a dict with the σ/η used, the
         per-round transmit energy and the aggregation error diagnostics.
+        ``local_vectors`` may be a stacked ``(G, q)`` array; pass ``out`` to
+        receive the new global model in a caller-owned buffer.
         """
         member_ids = list(member_ids)
         if len(member_ids) == 0:
@@ -266,7 +433,13 @@ class BaseTrainer:
 
         # Model-norm bound W_t: use the largest local-model norm this round,
         # which is exactly what Assumption 4 bounds.
-        model_bound = max(float(np.linalg.norm(v)) for v in local_vectors)
+        if isinstance(local_vectors, np.ndarray) and local_vectors.ndim == 2:
+            sq_norms = np.einsum(
+                "ij,ij->i", local_vectors, local_vectors, dtype=np.float64
+            )
+            model_bound = float(np.sqrt(sq_norms.max()))
+        else:
+            model_bound = max(float(np.linalg.norm(v)) for v in local_vectors)
         model_bound = max(model_bound, 1e-8)
 
         # Calibration (see DESIGN.md): the paper's σ₀² is the total AWGN
@@ -277,26 +450,57 @@ class BaseTrainer:
         # full-size upload.
         per_entry_noise_var = cfg.noise_variance / float(self.latency_dimension)
 
-        pc = solve_power_control(
-            data_sizes=sizes,
-            channel_gains=gains,
-            model_bound=model_bound,
-            config=replace(cfg, noise_variance=per_entry_noise_var),
-        )
+        pc_config = replace(cfg, noise_variance=per_entry_noise_var)
+        if self._pc_cache is not None:
+            pc = self._pc_cache.solve(
+                data_sizes=sizes,
+                channel_gains=gains,
+                model_bound=model_bound,
+                config=pc_config,
+                group_key=tuple(member_ids),
+            )
+        else:
+            pc = solve_power_control(
+                data_sizes=sizes,
+                channel_gains=gains,
+                model_bound=model_bound,
+                config=pc_config,
+            )
 
-        result = aircomp_aggregate(
-            models=local_vectors,
-            data_sizes=sizes,
-            channel_gains=gains,
-            sigma_t=pc.sigma,
-            eta_t=pc.eta,
-            noise_std=float(np.sqrt(per_entry_noise_var)),
-            rng=self._noise_rng,
-            total_data_size=self.total_data,
-        )
+        if self.exp.engine == "scalar":
+            # Seed-equivalent reference path (benchmark baseline).
+            result = aircomp_aggregate_reference(
+                models=local_vectors,
+                data_sizes=sizes,
+                channel_gains=gains,
+                sigma_t=pc.sigma,
+                eta_t=pc.eta,
+                noise_std=float(np.sqrt(per_entry_noise_var)),
+                rng=self._noise_rng,
+                total_data_size=self.total_data,
+            )
+        else:
+            result = aircomp_aggregate(
+                models=local_vectors,
+                data_sizes=sizes,
+                channel_gains=gains,
+                sigma_t=pc.sigma,
+                eta_t=pc.eta,
+                noise_std=float(np.sqrt(per_entry_noise_var)),
+                rng=self._noise_rng,
+                total_data_size=self.total_data,
+                workspace=self._air_workspace,
+            )
         # Eq. (10): mix the received estimate with the previous global model.
         beta = float(self.alphas[member_ids].sum())
-        new_global = (1.0 - beta) * self.global_vector + result.estimate
+        if out is None:
+            new_global = (1.0 - beta) * self.global_vector + result.estimate
+        else:
+            # Scratch-first ordering keeps this correct even if ``out``
+            # aliases the current global vector.
+            np.multiply(self.global_vector, 1.0 - beta, out=self._agg_scratch)
+            np.add(result.estimate, self._agg_scratch, out=out)
+            new_global = out
 
         round_energy = float(result.transmit_energies.sum())
         self.energy.record_round(member_ids, result.transmit_energies)
@@ -307,6 +511,7 @@ class BaseTrainer:
             "beta": beta,
             "noise_norm": result.noise_norm,
             "power_control_iterations": float(pc.iterations),
+            "pc_cache_hits": float(self.pc_cache_hits),
         }
         return new_global, info
 

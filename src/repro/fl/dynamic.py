@@ -89,14 +89,13 @@ class DynamicTrainer(BaseTrainer):
         self.record_round(round_index=0, time=0.0, num_participants=0, force_eval=True)
         for t in range(1, max_rounds + 1):
             selected = self.select_workers(t)
-            local_vectors = [
-                self.local_update(w, self.global_vector, t) for w in selected
-            ]
-            compute_time = max(exp.latency.sample_time(w, t) for w in selected)
+            local_vectors = self.local_update_group(selected, self.global_vector, t)
+            compute_time = float(exp.latency.sample_times(selected, t).max())
             clock += compute_time + upload_latency
-            self.global_vector, info = self.aircomp_group_update(
-                selected, local_vectors, t
+            new_global, info = self.aircomp_group_update(
+                selected, local_vectors, t, out=self._update_out
             )
+            self._commit_global(new_global)
             self.record_round(
                 round_index=t,
                 time=clock,

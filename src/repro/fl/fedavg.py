@@ -35,18 +35,17 @@ class FedAvgTrainer(BaseTrainer):
         clock = 0.0
         self.record_round(round_index=0, time=0.0, num_participants=0, force_eval=True)
         for t in range(1, max_rounds + 1):
-            # Local training: everyone starts from the same global model.
-            local_vectors = [
-                self.local_update(w, self.global_vector, t) for w in all_workers
-            ]
+            # Local training: everyone starts from the same global model
+            # (group-batched when the model supports it).
+            local_vectors = self.local_update_group(all_workers, self.global_vector, t)
             # Round duration: slowest local training + sequential OMA uploads.
-            compute_time = max(
-                exp.latency.sample_time(w, t) for w in all_workers
-            )
+            compute_time = float(exp.latency.sample_times(all_workers, t).max())
             upload_time = self.oma_upload_latency(all_workers, t)
             clock += compute_time + upload_time
             # Error-free aggregation (OMA transmissions are reliable).
-            self.global_vector = self.exact_group_update(all_workers, local_vectors)
+            self._commit_global(
+                self.exact_group_update(all_workers, local_vectors, out=self._update_out)
+            )
             self.record_round(
                 round_index=t,
                 time=clock,

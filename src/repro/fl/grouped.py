@@ -93,9 +93,7 @@ class GroupedAsyncTrainer(BaseTrainer):
     def group_compute_time(self, group_id: int, round_index: int) -> float:
         """Local-training duration of a group: its slowest member."""
         members = self.groups[group_id]
-        return max(
-            self.exp.latency.sample_time(w, round_index) for w in members
-        )
+        return float(self.exp.latency.sample_times(members, round_index).max())
 
     # ------------------------------------------------------------------
     def run(
@@ -127,8 +125,10 @@ class GroupedAsyncTrainer(BaseTrainer):
 
             # Local updates are computed from the global version this group
             # last received (Eq. 5); the round index seeds the batch sampling.
+            # The whole group trains as one batched tensor pass when the
+            # model supports it (scalar per-worker fallback otherwise).
             base = self._group_base[group_id]
-            local_vectors = [self.local_update(w, base, t) for w in members]
+            local_vectors = self.local_update_group(members, base, t)
 
             upload = self.upload_time(members, t)
             # The group can only start its aggregation once the shared uplink
@@ -145,10 +145,11 @@ class GroupedAsyncTrainer(BaseTrainer):
                 # the contribution of updates computed from old global models.
                 weight = 1.0 / (1.0 + event.staleness) ** self.staleness_exponent
                 new_global = (1.0 - weight) * self.global_vector + weight * new_global
-            self.global_vector = new_global
+            # Swap (not copy) the trainer-owned update buffer into place.
+            self._commit_global(new_global)
             # The group receives the fresh global model and immediately
             # starts its next local round.
-            self._group_base[group_id] = self.global_vector.copy()
+            np.copyto(self._group_base[group_id], self.global_vector)
             next_ready = update_time + self.group_compute_time(group_id, t + 1)
             heapq.heappush(queue, (next_ready, group_id))
 

@@ -35,6 +35,7 @@ class RoundRecord:
     cumulative_energy_j: float = 0.0
     sigma: float = float("nan")     # power scaling factor used
     eta: float = float("nan")       # denoising factor used
+    pc_cache_hits: int = 0          # cumulative power-control cache hits
 
 
 @dataclass
@@ -210,7 +211,7 @@ class TrainingHistory:
         fieldnames = [
             "round_index", "time", "loss", "accuracy", "staleness", "group_id",
             "num_participants", "round_energy_j", "cumulative_energy_j",
-            "sigma", "eta",
+            "sigma", "eta", "pc_cache_hits",
         ]
         with path.open("w", newline="") as handle:
             writer = csv.DictWriter(handle, fieldnames=fieldnames)

@@ -61,8 +61,11 @@ class TiFLTrainer(GroupedAsyncTrainer):
         round_index: int,
     ) -> Tuple[np.ndarray, Dict[str, float]]:
         # OMA uploads are assumed reliable: the server receives each model
-        # exactly and applies Eq. (8).
-        new_global = self.exact_group_update(member_ids, local_vectors)
+        # exactly and applies Eq. (8).  Writing into the trainer-owned
+        # update buffer keeps the aggregation allocation-free.
+        new_global = self.exact_group_update(
+            member_ids, local_vectors, out=self._update_out
+        )
         return new_global, {}
 
     def upload_time(self, member_ids: Sequence[int], round_index: int) -> float:

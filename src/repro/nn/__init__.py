@@ -9,9 +9,12 @@ from .params import (
     Parameter,
     ParameterSet,
     ParameterVector,
+    default_dtype,
     flatten_parameters,
+    parameter_dtype,
     unflatten_vector,
 )
+from .batched import BatchedWorkerEngine, batched_layer_supported
 from .layers import (
     Conv2D,
     Dense,
@@ -48,6 +51,10 @@ __all__ = [
     "ParameterVector",
     "flatten_parameters",
     "unflatten_vector",
+    "default_dtype",
+    "parameter_dtype",
+    "BatchedWorkerEngine",
+    "batched_layer_supported",
     "Layer",
     "Dense",
     "ReLU",

@@ -1,0 +1,372 @@
+"""Vectorized multi-worker execution engine (group-batched local training).
+
+Every member of a federated group starts its local update from the *same*
+base model vector, so the G per-worker SGD runs are structurally identical —
+only the mini-batches (and, after the first step, the diverged parameters)
+differ.  The scalar path in :meth:`repro.fl.base.BaseTrainer.local_update`
+pays the full Python/NumPy dispatch overhead G times per round; this module
+instead stacks the per-worker parameters into leading-axis tensors (Dense
+weights become ``(G, in, out)``) and runs **one** batched matmul per layer
+per SGD step for the whole group.
+
+Supported layers: :class:`~repro.nn.layers.Dense`,
+:class:`~repro.nn.layers.ReLU` and :class:`~repro.nn.layers.Flatten` — which
+covers the paper's "LR"/MLP workloads end to end.  Models containing other
+layers (Conv2D, MaxPool2D, Dropout) are reported as unsupported and the
+trainers fall back to the scalar per-worker path (see ROADMAP open items for
+the batched Conv2D kernel follow-up).
+
+Numerical contract: for a given ``(seed, worker_id, round_index)`` the
+engine draws exactly the same mini-batch indices as the scalar path and
+performs the same sequence of per-worker matmul/elementwise operations, so
+the stacked results match the sequential reference to ~1e-9 per parameter
+in float64 (bit-identical up to BLAS reduction-order differences).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .layers import Dense, Flatten, ReLU
+from .models import Model, SequentialModel
+
+__all__ = ["BatchedWorkerEngine", "batched_layer_supported"]
+
+
+def batched_layer_supported(layer: object) -> bool:
+    """Whether ``layer`` has a batched (leading group axis) kernel."""
+    return isinstance(layer, (Dense, ReLU, Flatten))
+
+
+# ----------------------------------------------------------------------
+# Batched layer kernels.  Activations operate on (G, B, ...) tensors where
+# G is the group size and B the (padded) per-worker mini-batch size.
+# ----------------------------------------------------------------------
+class _BatchedDense:
+    """``y[g] = x[g] @ W[g] + b[g]`` for all group members at once."""
+
+    def __init__(self, layer: Dense, offset: int) -> None:
+        self.in_features = layer.in_features
+        self.out_features = layer.out_features
+        self.has_bias = layer.bias is not None
+        self.weight_shape = layer.weight.value.shape
+        self.weight_offset = offset
+        self.weight_size = layer.weight.value.size
+        self.bias_offset = offset + self.weight_size
+        self.bias_size = layer.bias.value.size if self.has_bias else 0
+        self.param_size = self.weight_size + self.bias_size
+        # Stacked parameter / gradient / activation tensors, cached per
+        # (group, batch) signature so trainers alternating between groups
+        # of different sizes (the grouped-async event loop) never thrash a
+        # single buffer set — steady-state steps run entirely in-place.
+        self._buffers: Dict[Tuple[int, int], Tuple] = {}
+        self.weight: Optional[np.ndarray] = None
+        self.bias: Optional[np.ndarray] = None
+        self.grad_weight: Optional[np.ndarray] = None
+        self.grad_bias: Optional[np.ndarray] = None
+        self._out: Optional[np.ndarray] = None
+        self._grad_in: Optional[np.ndarray] = None
+        self._cache_x: Optional[np.ndarray] = None
+
+    def bind(self, group: int, batch: int, dtype: np.dtype) -> None:
+        key = (group, batch)
+        bufs = self._buffers.get(key)
+        if bufs is None:
+            weight = np.empty((group,) + self.weight_shape, dtype=dtype)
+            grad_weight = np.empty_like(weight)
+            bias = grad_bias = None
+            if self.has_bias:
+                bias = np.empty((group, self.out_features), dtype=dtype)
+                grad_bias = np.empty_like(bias)
+            out = np.empty((group, batch, self.out_features), dtype=dtype)
+            grad_in = np.empty((group, batch, self.in_features), dtype=dtype)
+            bufs = (weight, grad_weight, bias, grad_bias, out, grad_in)
+            self._buffers[key] = bufs
+        (
+            self.weight,
+            self.grad_weight,
+            self.bias,
+            self.grad_bias,
+            self._out,
+            self._grad_in,
+        ) = bufs
+
+    def load(self, base_vector: np.ndarray) -> None:
+        """Broadcast the (shared) base parameters into every group slot."""
+        w = base_vector[self.weight_offset : self.weight_offset + self.weight_size]
+        np.copyto(self.weight, w.reshape(self.weight_shape)[None])
+        if self.has_bias:
+            b = base_vector[self.bias_offset : self.bias_offset + self.bias_size]
+            np.copyto(self.bias, b[None])
+
+    def dump(self, out: np.ndarray) -> None:
+        """Write each member's flattened parameters into its row of ``out``."""
+        g = self.weight.shape[0]
+        out[:, self.weight_offset : self.weight_offset + self.weight_size] = (
+            self.weight.reshape(g, self.weight_size)
+        )
+        if self.has_bias:
+            out[:, self.bias_offset : self.bias_offset + self.bias_size] = self.bias
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._cache_x = x
+        out = self._out
+        np.matmul(x, self.weight, out=out)
+        if self.has_bias:
+            out += self.bias[:, None, :]
+        return out
+
+    #: Set on the first layer of the network: nothing upstream needs the
+    #: input gradient, so its (largest) backward matmul is skipped.
+    skip_input_grad = False
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        x = self._cache_x
+        np.matmul(x.transpose(0, 2, 1), grad_out, out=self.grad_weight)
+        if self.has_bias:
+            np.sum(grad_out, axis=1, out=self.grad_bias)
+        if self.skip_input_grad:
+            return grad_out
+        return np.matmul(grad_out, self.weight.transpose(0, 2, 1), out=self._grad_in)
+
+    def sgd_step(self, lr: float) -> None:
+        # In-place ``grad *= lr; w -= grad``: the same two floating-point
+        # operations as the scalar ``w -= lr * grad`` without the O(G·q)
+        # temporary (gradients are recomputed from scratch next step).
+        self.grad_weight *= lr
+        self.weight -= self.grad_weight
+        if self.has_bias:
+            self.grad_bias *= lr
+            self.bias -= self.grad_bias
+
+
+class _BatchedReLU:
+    def __init__(self) -> None:
+        self._buffers: Dict[Tuple[int, ...], Tuple[np.ndarray, np.ndarray]] = {}
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        bufs = self._buffers.get(x.shape)
+        if bufs is None:
+            bufs = (np.empty(x.shape, dtype=bool), np.empty_like(x))
+            self._buffers[x.shape] = bufs
+        mask, out = bufs
+        self._mask = mask
+        np.greater(x, 0.0, out=mask)
+        return np.maximum(x, 0.0, out=out)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        # In-place: grad_out is the downstream layer's scratch gradient
+        # buffer and is not read again this step.
+        np.multiply(grad_out, self._mask, out=grad_out)
+        return grad_out
+
+
+class _BatchedFlatten:
+    def __init__(self) -> None:
+        self._shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], x.shape[1], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out.reshape(self._shape)
+
+
+# ----------------------------------------------------------------------
+class BatchedWorkerEngine:
+    """Runs the local SGD of a whole worker group as batched tensor ops.
+
+    Build one per trainer with :meth:`try_build`; the engine keeps its
+    stacked parameter/activation buffers across rounds, so steady-state
+    group updates allocate almost nothing.
+    """
+
+    def __init__(self, model: SequentialModel) -> None:
+        self.dimension = model.dimension
+        self.dtype = model.parameters[0].value.dtype if len(model.parameters) else np.dtype(np.float64)
+        self._layers: List[object] = []
+        self._dense: List[_BatchedDense] = []
+        offset = 0
+        for layer in model.layers:
+            if isinstance(layer, Dense):
+                bd = _BatchedDense(layer, offset)
+                offset += bd.param_size
+                self._layers.append(bd)
+                self._dense.append(bd)
+            elif isinstance(layer, ReLU):
+                self._layers.append(_BatchedReLU())
+            elif isinstance(layer, Flatten):
+                self._layers.append(_BatchedFlatten())
+            else:
+                raise ValueError(
+                    f"layer {layer!r} has no batched kernel; "
+                    "use BatchedWorkerEngine.try_build for a graceful fallback"
+                )
+        if offset != self.dimension:
+            raise ValueError(
+                "batched layer parameters do not cover the model vector "
+                f"({offset} of {self.dimension} entries)"
+            )
+        # The input gradient of the network's first layer is never consumed
+        # (ReLU/Flatten before it carry no parameters either way).
+        for layer in self._layers:
+            if isinstance(layer, _BatchedDense):
+                layer.skip_input_grad = True
+                break
+        # Cached sampling geometry (input buffers, padding masks, divisors),
+        # keyed by the per-worker batch-size signature of a group.
+        self._geometry: Dict[Tuple, Dict[str, np.ndarray]] = {}
+        # Concatenated per-group training data (plus one all-zero pad row),
+        # keyed by the group's worker-id tuple, so each step gathers the
+        # whole group's mini-batches with a single np.take.
+        self._datacat: Dict[Tuple[int, ...], Tuple[np.ndarray, np.ndarray, List[int], int]] = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def try_build(cls, model: Model) -> Optional["BatchedWorkerEngine"]:
+        """Build an engine for ``model``, or ``None`` if any layer lacks a
+        batched kernel (the caller then uses the scalar per-worker path)."""
+        if not isinstance(model, SequentialModel):
+            return None
+        if not all(batched_layer_supported(l) for l in model.layers):
+            return None
+        if len(model.parameters) == 0:
+            return None
+        return cls(model)
+
+    # ------------------------------------------------------------------
+    def run_group(
+        self,
+        worker_ids: Sequence[int],
+        worker_data: Sequence[Tuple[np.ndarray, np.ndarray]],
+        base_vector: np.ndarray,
+        round_index: int,
+        *,
+        learning_rate: float,
+        local_steps: int,
+        batch_size: int,
+        seed: int,
+        out: np.ndarray,
+    ) -> np.ndarray:
+        """Run every member's local SGD from ``base_vector``; fill ``out``.
+
+        ``out`` must be a ``(len(worker_ids), q)`` array; row ``k`` receives
+        worker ``worker_ids[k]``'s updated flat model.  Semantics match the
+        scalar path exactly: per-worker batch indices are drawn from
+        ``SeedSequence([seed, worker_id, round_index, 0x10CA1])`` and a
+        worker with no data returns the base vector unchanged.
+        """
+        ids = list(worker_ids)
+        if out.shape != (len(ids), self.dimension):
+            raise ValueError(
+                f"out has shape {out.shape}, expected {(len(ids), self.dimension)}"
+            )
+        # Workers without data keep the base model; train the rest together.
+        has_data = [x.shape[0] > 0 for x, _ in worker_data]
+        active = [k for k, ok in enumerate(has_data) if ok]
+        for k, ok in enumerate(has_data):
+            if not ok:
+                out[k] = base_vector
+        if not active:
+            return out
+        xs = [worker_data[k][0] for k in active]
+        ys = [worker_data[k][1] for k in active]
+        rngs = [
+            np.random.default_rng(
+                np.random.SeedSequence([seed, ids[k], round_index, 0x10CA1])
+            )
+            for k in active
+        ]
+        g = len(active)
+        counts_py = [int(x.shape[0]) for x in xs]
+        batches_py = [min(batch_size, c) for c in counts_py]
+        b_max = max(batches_py)
+        feat_shape = xs[0].shape[1:]
+
+        # Concatenate the group's data once (cached per worker-id tuple)
+        # with one trailing all-zero pad row, so every SGD step fills the
+        # whole group's mini-batch tensor with a single np.take gather.
+        cat_key = tuple(ids[k] for k in active)
+        cat = self._datacat.get(cat_key)
+        if cat is None:
+            x_cat = np.concatenate(
+                [np.ascontiguousarray(x, dtype=self.dtype) for x in xs]
+                + [np.zeros((1,) + feat_shape, dtype=self.dtype)]
+            )
+            y_cat = np.concatenate(
+                [np.asarray(y, dtype=np.int64) for y in ys]
+                + [np.zeros(1, dtype=np.int64)]
+            )
+            offsets: List[int] = list(np.cumsum([0] + counts_py[:-1]))
+            cat = (x_cat, y_cat, offsets, x_cat.shape[0] - 1)
+            self._datacat[cat_key] = cat
+        x_cat, y_cat, offsets, pad_row = cat
+
+        # Sampling geometry (masks, per-worker divisors, buffers) is fully
+        # determined by the per-worker batch sizes; cache it so the event
+        # loop alternating between groups never rebuilds it.
+        geo_key = (b_max, tuple(batches_py)) + feat_shape
+        geo = self._geometry.get(geo_key)
+        if geo is None:
+            batches = np.array(batches_py)
+            geo = {
+                "xb": np.zeros((g, b_max) + feat_shape, dtype=self.dtype),
+                "yb": np.zeros((g, b_max), dtype=np.int64),
+                "gidx": np.full((g, b_max), -1, dtype=np.int64),
+                "ragged": min(batches_py) != b_max,
+                "valid": np.arange(b_max)[None, :] < batches[:, None],
+                "row_index": np.arange(g * b_max),
+                "batch_div": batches[:, None, None].astype(np.float64),
+            }
+            self._geometry[geo_key] = geo
+        # Padding rows (workers with fewer samples than b_max) gather the
+        # zero pad row and get zero loss gradients, so they contribute
+        # exactly nothing to the batched weight-gradient matmuls.
+        xb, yb, gidx = geo["xb"], geo["yb"], geo["gidx"]
+        ragged, row_index = geo["ragged"], geo["row_index"]
+        gidx.fill(pad_row)
+        xb_flat = xb.reshape((g * b_max,) + feat_shape)
+        yb_flat = yb.reshape(g * b_max)
+
+        for bd in self._dense:
+            bd.bind(g, b_max, self.dtype)
+            bd.load(base_vector)
+
+        for _ in range(local_steps):
+            for k in range(g):
+                idx = rngs[k].choice(counts_py[k], size=batches_py[k], replace=False)
+                idx += offsets[k]
+                gidx[k, : batches_py[k]] = idx
+            np.take(x_cat, gidx.reshape(-1), axis=0, out=xb_flat)
+            np.take(y_cat, gidx.reshape(-1), out=yb_flat)
+            h = xb
+            for layer in self._layers:
+                h = layer.forward(h)
+            # Fused softmax cross-entropy gradient: (softmax − one-hot) / B_k
+            # per worker — exactly the scalar loss normalisation, computed
+            # in place in the logits buffer; padded rows are zeroed by the
+            # validity mask.
+            h -= h.max(axis=-1, keepdims=True)
+            np.exp(h, out=h)
+            h /= h.sum(axis=-1, keepdims=True)
+            grad = h
+            flat = grad.reshape(g * b_max, -1)
+            flat[row_index, yb.reshape(-1)] -= 1.0
+            grad /= geo["batch_div"]
+            if ragged:
+                grad *= geo["valid"][:, :, None]
+            for layer in reversed(self._layers):
+                grad = layer.backward(grad)
+            for bd in self._dense:
+                bd.sgd_step(learning_rate)
+
+        rows = out[active] if len(active) != len(ids) else out
+        for bd in self._dense:
+            bd.dump(rows)
+        if rows is not out:
+            out[active] = rows
+        return out

@@ -145,16 +145,27 @@ class Dense(Layer):
 
 
 class ReLU(Layer):
-    """Element-wise rectified linear unit."""
+    """Element-wise rectified linear unit.
+
+    The boolean mask needed by the backward pass is kept in a reusable
+    buffer (re-allocated only when the batch shape changes), so steady-state
+    training rounds do not allocate a fresh mask-sized array per forward.
+    """
 
     def __init__(self, name: str) -> None:
         super().__init__(name)
         self._mask: Optional[np.ndarray] = None
+        self._mask_buf: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
-        mask = x > 0.0
-        self._mask = mask if training else None
-        return np.where(mask, x, 0.0)
+        if training:
+            if self._mask_buf is None or self._mask_buf.shape != x.shape:
+                self._mask_buf = np.empty(x.shape, dtype=bool)
+            np.greater(x, 0.0, out=self._mask_buf)
+            self._mask = self._mask_buf
+        else:
+            self._mask = None
+        return np.maximum(x, 0.0)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._mask is None:
@@ -268,7 +279,7 @@ def col2im(
     kh, kw = kernel
     out_h = (h + 2 * padding - kh) // stride + 1
     out_w = (w + 2 * padding - kw) // stride + 1
-    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=np.float64)
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
     cols6 = cols.reshape(n, out_h, out_w, c, kh, kw).transpose(0, 3, 1, 2, 4, 5)
     for i in range(kh):
         i_max = i + stride * out_h

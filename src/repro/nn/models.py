@@ -119,9 +119,14 @@ class SequentialModel(Model):
     def __init__(self, layers: Sequence[Layer]) -> None:
         self.layers: List[Layer] = list(layers)
         self.parameters = collect_parameters(self.layers)
+        # Inputs are cast to the parameter dtype so float32 simulation mode
+        # keeps the whole forward/backward pass in float32.
+        self._input_dtype = (
+            self.parameters[0].value.dtype if len(self.parameters) else np.dtype(np.float64)
+        )
 
     def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
-        out = np.asarray(x, dtype=np.float64)
+        out = np.asarray(x, dtype=self._input_dtype)
         for layer in self.layers:
             out = layer.forward(out, training=training)
         return out

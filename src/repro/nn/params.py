@@ -18,6 +18,7 @@ require it.  Hot training loops re-use the same buffer via
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Sequence, Tuple
 
@@ -29,7 +30,42 @@ __all__ = [
     "ParameterVector",
     "flatten_parameters",
     "unflatten_vector",
+    "default_dtype",
+    "parameter_dtype",
 ]
+
+#: Floating dtypes a simulation may run in.  ``float64`` is the reference
+#: mode (all equivalence tests run in it); ``float32`` halves the memory
+#: bandwidth of the O(q) hot paths for large sweeps at the cost of ~1e-7
+#: relative rounding per operation.
+_SUPPORTED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+_DEFAULT_DTYPE = np.dtype(np.float64)
+
+
+def default_dtype() -> np.dtype:
+    """The dtype newly constructed :class:`Parameter` values are cast to."""
+    return _DEFAULT_DTYPE
+
+
+@contextmanager
+def parameter_dtype(dtype: np.dtype | str):
+    """Context manager switching the default parameter dtype.
+
+    Trainers wrap their ``model_factory()`` call in this so a single
+    config knob (``AirFedGAConfig.dtype``) switches the whole simulation
+    between ``float64`` (reference) and ``float32`` (bandwidth-saving) mode
+    without touching every layer constructor.
+    """
+    global _DEFAULT_DTYPE
+    dt = np.dtype(dtype)
+    if dt not in _SUPPORTED_DTYPES:
+        raise ValueError(f"unsupported parameter dtype {dt}; use float32 or float64")
+    previous = _DEFAULT_DTYPE
+    _DEFAULT_DTYPE = dt
+    try:
+        yield
+    finally:
+        _DEFAULT_DTYPE = previous
 
 
 @dataclass
@@ -55,7 +91,7 @@ class Parameter:
     grad: np.ndarray | None = None
 
     def __post_init__(self) -> None:
-        self.value = np.ascontiguousarray(self.value, dtype=np.float64)
+        self.value = np.ascontiguousarray(self.value, dtype=default_dtype())
 
     @property
     def shape(self) -> Tuple[int, ...]:
@@ -197,7 +233,10 @@ class ParameterVector:
     shapes: List[Tuple[int, ...]] = field(default_factory=list)
 
     def __post_init__(self) -> None:
-        self.data = np.ascontiguousarray(self.data, dtype=np.float64).ravel()
+        data = np.asarray(self.data)
+        if data.dtype not in _SUPPORTED_DTYPES:
+            data = data.astype(np.float64)
+        self.data = np.ascontiguousarray(data).ravel()
 
     @property
     def dimension(self) -> int:
@@ -237,7 +276,14 @@ def flatten_parameters(
     """
     total = sum(int(a.size) for a in arrays)
     if out is None:
-        out = np.empty(total, dtype=np.float64)
+        dtype = (
+            np.result_type(*(np.asarray(a).dtype for a in arrays))
+            if arrays
+            else np.float64
+        )
+        if dtype not in _SUPPORTED_DTYPES:
+            dtype = np.dtype(np.float64)
+        out = np.empty(total, dtype=dtype)
     elif out.size != total:
         raise ValueError(
             f"output buffer has size {out.size}, expected {total}"
@@ -245,7 +291,7 @@ def flatten_parameters(
     offset = 0
     for a in arrays:
         n = int(a.size)
-        out[offset : offset + n] = np.asarray(a, dtype=np.float64).ravel()
+        out[offset : offset + n] = np.asarray(a).ravel()
         offset += n
     return out
 
@@ -258,7 +304,10 @@ def unflatten_vector(
     The returned arrays are reshaped *views* into ``vector`` whenever the
     vector is contiguous, so callers that only read the blocks pay no copy.
     """
-    vector = np.asarray(vector, dtype=np.float64).ravel()
+    vector = np.asarray(vector)
+    if vector.dtype not in _SUPPORTED_DTYPES:
+        vector = vector.astype(np.float64)
+    vector = vector.ravel()
     expected = sum(int(np.prod(s)) if s else 1 for s in shapes)
     if vector.size != expected:
         raise ValueError(

@@ -91,20 +91,24 @@ class LatencyTable:
             and self.heterogeneity.num_workers != self.num_workers
         ):
             raise ValueError("heterogeneity model has a different worker count")
-
-    # ------------------------------------------------------------------
-    def nominal_times(self) -> np.ndarray:
-        """The deterministic per-worker times ``l_i`` (used by Alg. 3)."""
+        # κ_i · l̂_i is deterministic: compute it once.  The per-call copies
+        # of the κ array used to make per-round group time computations
+        # O(N²); every read below goes through this cache instead.
         if self.heterogeneity is None:
             kappa = np.ones(self.num_workers)
         else:
             kappa = self.heterogeneity.kappa
-        return kappa * self.base_time
+        self._nominal = kappa * self.base_time
+
+    # ------------------------------------------------------------------
+    def nominal_times(self) -> np.ndarray:
+        """The deterministic per-worker times ``l_i`` (used by Alg. 3)."""
+        return self._nominal.copy()
 
     def nominal_time(self, worker_id: int) -> float:
         if not 0 <= worker_id < self.num_workers:
             raise ValueError(f"invalid worker id {worker_id}")
-        return float(self.nominal_times()[worker_id])
+        return float(self._nominal[worker_id])
 
     def spread(self) -> float:
         """Δl = max_i l_i − min_i l_i (the scale used in constraint 36d)."""
@@ -122,6 +126,23 @@ class LatencyTable:
         factor = float(np.clip(1.0 + rng.normal(0.0, self.jitter_std), 0.2, 5.0))
         return nominal * factor
 
+    def sample_times(
+        self, worker_ids: Sequence[int], round_index: int = 0
+    ) -> np.ndarray:
+        """Vectorized :meth:`sample_time` over a group of workers.
+
+        Identical values to calling :meth:`sample_time` per worker (the
+        jittered path uses the same per-worker seeded draw), but without
+        per-call overhead in the no-jitter common case.
+        """
+        ids = list(worker_ids)
+        if any(not 0 <= w < self.num_workers for w in ids):
+            bad = next(w for w in ids if not 0 <= w < self.num_workers)
+            raise ValueError(f"invalid worker id {bad}")
+        if self.jitter_std == 0.0:
+            return self._nominal[ids]
+        return np.array([self.sample_time(w, round_index) for w in ids])
+
     def group_completion_time(
         self, worker_ids: Sequence[int], round_index: int = 0
     ) -> float:
@@ -129,4 +150,4 @@ class LatencyTable:
         ids = list(worker_ids)
         if not ids:
             raise ValueError("group must contain at least one worker")
-        return max(self.sample_time(w, round_index) for w in ids)
+        return float(self.sample_times(ids, round_index).max())

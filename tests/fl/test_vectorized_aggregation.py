@@ -1,0 +1,409 @@
+"""Equivalence and regression tests for the allocation-free hot paths.
+
+Covers: vectorized exact/AirComp aggregation vs. the reference loops, the
+engine="scalar" / engine="auto" trainer agreement, power-control caching
+(hit counting, budget clamping), the float32 simulation mode and seeded
+end-to-end determinism.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel import (
+    AirCompWorkspace,
+    StaticChannel,
+    aircomp_aggregate,
+    aircomp_aggregate_reference,
+    ideal_group_average,
+    ideal_group_average_reference,
+)
+from repro.core import AirCompConfig, AirFedGAConfig, PowerControlCache
+from repro.data import partition_label_skew
+from repro.fl import FLExperiment
+from repro.fl.base import BaseTrainer
+from repro.fl.registry import build_trainer
+from repro.nn import LogisticRegressionMLP, MnistCNN
+
+
+# ----------------------------------------------------------------------
+# Channel-level equivalence (vectorized vs. the seed's loops)
+# ----------------------------------------------------------------------
+class TestChannelEquivalence:
+    def setup_method(self):
+        rng = np.random.default_rng(0)
+        self.models = rng.standard_normal((7, 500))
+        self.sizes = rng.uniform(5.0, 50.0, 7)
+        self.gains = rng.uniform(0.2, 3.0, 7)
+
+    def test_ideal_average_matches_reference(self):
+        vec = ideal_group_average(self.models, self.sizes)
+        ref = ideal_group_average_reference(list(self.models), self.sizes)
+        np.testing.assert_allclose(vec, ref, rtol=1e-13, atol=1e-13)
+
+    def test_ideal_average_out_buffer(self):
+        out = np.empty(500)
+        result = ideal_group_average(self.models, self.sizes, out=out)
+        assert result is out
+        np.testing.assert_allclose(
+            out, ideal_group_average_reference(list(self.models), self.sizes),
+            rtol=1e-13, atol=1e-13,
+        )
+
+    def test_aircomp_matches_reference_noiseless(self):
+        kwargs = dict(
+            data_sizes=self.sizes, channel_gains=self.gains,
+            sigma_t=1.3, eta_t=1.7, noise_std=0.0,
+        )
+        vec = aircomp_aggregate(self.models, rng=np.random.default_rng(1), **kwargs)
+        ref = aircomp_aggregate_reference(
+            list(self.models), rng=np.random.default_rng(1), **kwargs
+        )
+        np.testing.assert_allclose(vec.estimate, ref.estimate, rtol=1e-12, atol=1e-12)
+        np.testing.assert_allclose(vec.received, ref.received, rtol=1e-12, atol=1e-12)
+        np.testing.assert_allclose(
+            vec.transmit_energies, ref.transmit_energies, rtol=1e-12
+        )
+        np.testing.assert_array_equal(vec.transmit_powers, ref.transmit_powers)
+
+    def test_aircomp_matches_reference_with_noise(self):
+        """Both implementations consume the RNG identically, so the injected
+        noise vector — and hence the whole estimate — agrees."""
+        kwargs = dict(
+            data_sizes=self.sizes, channel_gains=self.gains,
+            sigma_t=0.8, eta_t=2.0, noise_std=0.05,
+        )
+        vec = aircomp_aggregate(self.models, rng=np.random.default_rng(7), **kwargs)
+        ref = aircomp_aggregate_reference(
+            list(self.models), rng=np.random.default_rng(7), **kwargs
+        )
+        np.testing.assert_allclose(vec.estimate, ref.estimate, rtol=1e-12, atol=1e-12)
+        assert vec.noise_norm == pytest.approx(ref.noise_norm, rel=1e-12)
+
+    def test_workspace_reuse_no_stale_state(self):
+        ws = AirCompWorkspace()
+        kwargs = dict(
+            data_sizes=self.sizes, channel_gains=self.gains,
+            sigma_t=1.0, eta_t=1.0, noise_std=0.0,
+        )
+        first = aircomp_aggregate(
+            self.models, rng=np.random.default_rng(2), workspace=ws, **kwargs
+        ).estimate.copy()
+        aircomp_aggregate(
+            2.0 * self.models, rng=np.random.default_rng(2), workspace=ws, **kwargs
+        )
+        again = aircomp_aggregate(
+            self.models, rng=np.random.default_rng(2), workspace=ws, **kwargs
+        ).estimate
+        np.testing.assert_array_equal(first, again)
+
+    def test_ragged_models_rejected(self):
+        with pytest.raises(ValueError):
+            aircomp_aggregate(
+                [np.zeros(3), np.zeros(4)], [1.0, 1.0], [1.0, 1.0],
+                sigma_t=1.0, eta_t=1.0, noise_std=0.0,
+                rng=np.random.default_rng(0),
+            )
+
+
+# ----------------------------------------------------------------------
+# Trainer-level equivalence
+# ----------------------------------------------------------------------
+class TestTrainerAggregation:
+    def test_exact_group_update_matches_loop(self, quiet_experiment):
+        trainer = BaseTrainer(quiet_experiment)
+        rng = np.random.default_rng(3)
+        members = [0, 2, 5]
+        vectors = [
+            trainer.global_vector + rng.standard_normal(trainer.model.dimension)
+            for _ in members
+        ]
+        result = trainer.exact_group_update(members, vectors)
+        alphas = trainer.alphas[members]
+        reference = (1.0 - alphas.sum()) * trainer.global_vector
+        for a, vec in zip(alphas, vectors):
+            reference = reference + a * vec
+        np.testing.assert_allclose(result, reference, rtol=1e-12, atol=1e-12)
+
+    def test_exact_group_update_accepts_stacked_and_out(self, quiet_experiment):
+        trainer = BaseTrainer(quiet_experiment)
+        stacked = np.stack([trainer.global_vector * (i + 1) for i in range(3)])
+        members = [1, 3, 4]
+        plain = trainer.exact_group_update(members, list(stacked))
+        out = np.empty_like(trainer.global_vector)
+        buffered = trainer.exact_group_update(members, stacked, out=out)
+        assert buffered is out
+        np.testing.assert_array_equal(plain, buffered)
+
+    def test_aircomp_group_update_out_buffer(self, quiet_experiment):
+        trainer = BaseTrainer(quiet_experiment)
+        members = [0, 1, 2]
+        vectors = np.stack([trainer.global_vector for _ in members])
+        plain, _ = trainer.aircomp_group_update(members, vectors, round_index=1)
+        # Fresh trainer to reset the noise RNG stream.
+        trainer2 = BaseTrainer(quiet_experiment)
+        out = np.empty_like(trainer2.global_vector)
+        buffered, _ = trainer2.aircomp_group_update(
+            members, vectors, round_index=1, out=out
+        )
+        assert buffered is out
+        np.testing.assert_allclose(plain, buffered, rtol=1e-12, atol=1e-12)
+
+    def test_scalar_engine_uses_reference_paths(
+        self, small_dataset, small_partition, latency_table, static_channel
+    ):
+        exp = FLExperiment(
+            dataset=small_dataset,
+            partition=small_partition,
+            model_factory=lambda: LogisticRegressionMLP(
+                input_dim=64, hidden=16, num_classes=10, seed=3
+            ),
+            latency=latency_table,
+            channel=static_channel,
+            seed=11,
+            engine="scalar",
+        )
+        trainer = build_trainer("air_fedga", exp)
+        assert trainer._engine is None
+        assert trainer._pc_cache is None
+        history = trainer.run(max_rounds=5)
+        assert len(history) > 0
+
+    def test_invalid_engine_rejected(
+        self, small_dataset, small_partition, latency_table, static_channel, model_factory
+    ):
+        with pytest.raises(ValueError):
+            FLExperiment(
+                dataset=small_dataset,
+                partition=small_partition,
+                model_factory=model_factory,
+                latency=latency_table,
+                channel=static_channel,
+                engine="vectorised-please",
+            )
+
+    def test_batched_engine_rejected_for_cnn(
+        self, small_image_dataset, latency_table, static_channel
+    ):
+        partition = partition_label_skew(
+            small_image_dataset, num_workers=latency_table.num_workers, seed=7
+        )
+        exp = FLExperiment(
+            dataset=small_image_dataset,
+            partition=partition,
+            model_factory=lambda: MnistCNN(image_size=8, scale=0.1, seed=3),
+            latency=latency_table,
+            channel=static_channel,
+            engine="batched",
+        )
+        with pytest.raises(ValueError):
+            BaseTrainer(exp)
+
+
+class TestEngineAgreement:
+    def test_auto_and_scalar_trainers_agree(
+        self, small_dataset, small_partition, latency_table, static_channel, model_factory
+    ):
+        """Full seeded runs on both engines produce near-identical metrics.
+
+        The engines may differ at the floating-point reassociation level
+        (loop vs matmul aggregation) and in power-control caching, so the
+        comparison is loose-tolerance, not bitwise.
+        """
+        # The power-control cache trades ~rel_tol sigma optimality for
+        # speed; disable it so the only engine difference left is
+        # floating-point reassociation in the aggregation matmul.
+        config = AirFedGAConfig(
+            aircomp=AirCompConfig(noise_variance=1e-12, power_control_cache=False)
+        )
+        histories = {}
+        for engine in ("scalar", "auto"):
+            exp = FLExperiment(
+                dataset=small_dataset,
+                partition=small_partition,
+                model_factory=model_factory,
+                latency=latency_table,
+                channel=static_channel,
+                config=config,
+                learning_rate=0.2,
+                local_steps=2,
+                batch_size=16,
+                max_eval_samples=60,
+                seed=11,
+                engine=engine,
+            )
+            trainer = build_trainer("air_fedga", exp)
+            if engine == "auto":
+                assert trainer._engine is not None
+            histories[engine] = trainer.run(max_rounds=12)
+        a, s = histories["auto"], histories["scalar"]
+        assert len(a) == len(s)
+        np.testing.assert_array_equal(a.times(), s.times())
+        np.testing.assert_allclose(a.losses(), s.losses(), rtol=1e-5, atol=1e-6)
+        np.testing.assert_allclose(a.accuracies(), s.accuracies(), atol=1e-9)
+
+    def test_seeded_runs_deterministic_on_auto_engine(
+        self, small_dataset, small_partition, latency_table, static_channel, model_factory
+    ):
+        def run_once():
+            exp = FLExperiment(
+                dataset=small_dataset,
+                partition=small_partition,
+                model_factory=model_factory,
+                latency=latency_table,
+                channel=static_channel,
+                seed=11,
+            )
+            return build_trainer("air_fedga", exp).run(max_rounds=10)
+
+        a, b = run_once(), run_once()
+        np.testing.assert_array_equal(a.losses(), b.losses())
+        np.testing.assert_array_equal(a.accuracies(), b.accuracies())
+        np.testing.assert_array_equal(a.energies(), b.energies())
+
+
+# ----------------------------------------------------------------------
+# Power-control memoization
+# ----------------------------------------------------------------------
+class TestPowerControlCache:
+    def test_cache_hits_on_repeated_aggregation(
+        self, small_dataset, small_partition, latency_table, static_channel, model_factory
+    ):
+        exp = FLExperiment(
+            dataset=small_dataset,
+            partition=small_partition,
+            model_factory=model_factory,
+            latency=latency_table,
+            channel=static_channel,
+            seed=11,
+        )
+        trainer = build_trainer("air_fedavg", exp)
+        members = [0, 1, 2]
+        vectors = np.stack([trainer.global_vector for _ in members])
+        # Identical (gains, sizes, bound) instances: first solves, rest hit.
+        trainer.aircomp_group_update(members, vectors, round_index=1)
+        trainer.aircomp_group_update(members, vectors, round_index=1)
+        trainer.aircomp_group_update(members, vectors, round_index=1)
+        assert trainer.pc_cache_hits == 2
+        assert trainer.pc_cache_misses == 1
+
+    def test_cache_hits_surface_in_round_records(
+        self, small_dataset, small_partition, latency_table, static_channel, model_factory
+    ):
+        exp = FLExperiment(
+            dataset=small_dataset,
+            partition=small_partition,
+            model_factory=model_factory,
+            latency=latency_table,
+            channel=static_channel,
+            seed=11,
+        )
+        trainer = build_trainer("air_fedavg", exp)
+        history = trainer.run(max_rounds=6)
+        assert history.records[-1].pc_cache_hits == trainer.pc_cache_hits
+        hits = [r.pc_cache_hits for r in history.records]
+        assert hits == sorted(hits)  # cumulative counter never decreases
+
+    def test_cache_disabled_by_config(
+        self, small_dataset, small_partition, latency_table, static_channel, model_factory
+    ):
+        exp = FLExperiment(
+            dataset=small_dataset,
+            partition=small_partition,
+            model_factory=model_factory,
+            latency=latency_table,
+            channel=static_channel,
+            config=AirFedGAConfig(aircomp=AirCompConfig(power_control_cache=False)),
+            seed=11,
+        )
+        trainer = build_trainer("air_fedavg", exp)
+        trainer.run(max_rounds=4)
+        assert trainer.pc_cache_hits == 0
+        assert trainer._pc_cache is None
+
+    def test_hit_clamps_sigma_to_exact_cap(self):
+        rel_tol = 1e-2
+        cache = PowerControlCache(rel_tol=rel_tol)
+        rng = np.random.default_rng(0)
+        sizes = rng.uniform(10, 40, 5)
+        gains = rng.uniform(0.5, 2.0, 5)
+        cfg = AirCompConfig(noise_variance=1e-5)
+        # Pick two bounds deterministically inside the same quantization
+        # cell: the cell centre +/- a quarter of the grid step.
+        step = np.log1p(rel_tol)
+        centre = float(np.exp(np.round(np.log(10.0) / step) * step))
+        low = centre * float(np.exp(-step / 4))
+        high = centre * float(np.exp(step / 4))
+        first = cache.solve(sizes, gains, low, cfg, group_key=(0,))
+        # The larger bound hits the same key but tightens the energy cap;
+        # the cached sigma must be clamped to stay feasible.
+        second = cache.solve(sizes, gains, high, cfg, group_key=(0,))
+        assert cache.hits == 1
+        caps = gains * np.sqrt(cfg.energy_budget_j) / (sizes * high)
+        assert second.sigma <= caps.min() + 1e-15
+        assert first.sigma >= second.sigma
+
+    def test_cache_preserves_behaviour_on_fading_channel(
+        self, small_dataset, small_partition, latency_table, channel_model, model_factory
+    ):
+        """With warm start off (default), a Rayleigh channel makes every
+        round a cache miss, and each miss is an ordinary from-cap solve —
+        so the cached run is *identical* to the cache-off run."""
+        histories = {}
+        for cache in (True, False):
+            exp = FLExperiment(
+                dataset=small_dataset,
+                partition=small_partition,
+                model_factory=model_factory,
+                latency=latency_table,
+                channel=channel_model,
+                config=AirFedGAConfig(
+                    aircomp=AirCompConfig(power_control_cache=cache)
+                ),
+                seed=11,
+            )
+            histories[cache] = build_trainer("air_fedga", exp).run(max_rounds=10)
+        np.testing.assert_array_equal(
+            histories[True].energies(), histories[False].energies()
+        )
+        np.testing.assert_array_equal(
+            histories[True].losses(), histories[False].losses()
+        )
+
+    def test_distinct_inputs_miss(self):
+        cache = PowerControlCache()
+        cfg = AirCompConfig(noise_variance=1e-5)
+        sizes = np.array([10.0, 20.0])
+        cache.solve(sizes, np.array([1.0, 1.0]), 5.0, cfg)
+        cache.solve(sizes, np.array([1.0, 2.0]), 5.0, cfg)
+        cache.solve(sizes, np.array([1.0, 1.0]), 50.0, cfg)
+        assert cache.hits == 0
+        assert cache.misses == 3
+
+
+# ----------------------------------------------------------------------
+# float32 simulation mode
+# ----------------------------------------------------------------------
+class TestFloat32Mode:
+    def test_end_to_end_float32_run(
+        self, small_dataset, small_partition, latency_table, static_channel, model_factory
+    ):
+        exp = FLExperiment(
+            dataset=small_dataset,
+            partition=small_partition,
+            model_factory=model_factory,
+            latency=latency_table,
+            channel=static_channel,
+            config=AirFedGAConfig(dtype="float32"),
+            seed=11,
+        )
+        trainer = build_trainer("air_fedga", exp)
+        assert trainer.global_vector.dtype == np.float32
+        history = trainer.run(max_rounds=8)
+        assert np.isfinite(history.losses()).all()
+        assert history.final_accuracy >= 0.0
+
+    def test_invalid_dtype_rejected(self):
+        with pytest.raises(ValueError):
+            AirFedGAConfig(dtype="float16")
