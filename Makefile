@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-fast bench bench-quick
+.PHONY: test test-fast test-ci lint bench bench-quick ci
 
 test:            ## full tier-1 suite (tests/ + benchmarks/)
 	$(PYTHON) -m pytest -x -q
@@ -9,8 +9,16 @@ test:            ## full tier-1 suite (tests/ + benchmarks/)
 test-fast:       ## unit/integration tests only
 	$(PYTHON) -m pytest tests -q
 
+test-ci:         ## the exact pytest invocation of the CI test matrix
+	$(PYTHON) -m pytest -x -q -m "not slow"
+
+lint:            ## ruff static checks, same as the CI lint job (pip install ruff)
+	$(PYTHON) -m ruff check .
+
 bench:           ## perf suite (scalar reference vs vectorized engine), appends to BENCH_perf_v1.json
 	$(PYTHON) -m repro.experiments bench --label perf_v1
 
-bench-quick:     ## smaller/faster perf smoke run
-	$(PYTHON) -m repro.experiments bench --label perf_v1 --quick
+bench-quick:     ## smaller/faster perf smoke run (the CI bench-smoke job); writes BENCH_smoke.json (gitignored) so the committed BENCH_perf_v1.json trajectory stays curated
+	$(PYTHON) -m repro.experiments bench --label smoke --quick
+
+ci: lint test-ci bench-quick  ## reproduce the full CI pipeline locally

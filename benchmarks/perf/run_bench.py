@@ -13,8 +13,10 @@ Tiers (each timed on the seed-equivalent ``engine="scalar"`` path and the
 vectorized ``engine="auto"`` path):
 
 1. one Air-FedGA grouped round at 10/50/200 workers (MLP workload),
-2. a fig4-style CNN-MNIST mini-run,
-3. ``aircomp_aggregate`` / ``ideal_group_average`` microbenchmarks.
+2. the same grouped round on the fig4 CNN workload (batched Conv2D/
+   MaxPool2D kernels),
+3. a fig4-style CNN-MNIST mini-run,
+4. ``aircomp_aggregate`` / ``ideal_group_average`` microbenchmarks.
 """
 
 from __future__ import annotations

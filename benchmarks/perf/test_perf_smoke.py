@@ -12,7 +12,7 @@ from repro.experiments.bench import (
     bench_aggregation_micro,
     bench_cnn_mnist_mini,
     bench_grouped_round,
-    run_bench_suite,
+    bench_grouped_round_cnn,
     write_bench_results,
 )
 
@@ -24,6 +24,16 @@ def test_grouped_round_tier_reports_speedup():
     assert result["batched_s_per_round"] > 0
     # The batched engine must not regress below the scalar path (the real
     # ≥3x acceptance check at 50 workers runs in the non-quick bench).
+    assert result["speedup"] > 1.0
+
+
+def test_grouped_round_cnn_tier_reports_speedup():
+    result = bench_grouped_round_cnn(10, rounds_per_group=1, repeats=1)
+    assert result["num_workers"] == 10
+    assert result["scalar_s_per_round"] > 0
+    assert result["batched_s_per_round"] > 0
+    # The batched Conv2D/MaxPool2D kernels must not regress below the
+    # scalar path (the ≥2x acceptance check runs in the non-quick bench).
     assert result["speedup"] > 1.0
 
 

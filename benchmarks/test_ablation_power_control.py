@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.channel import RayleighFading, aggregation_error_term
 from repro.core import AirCompConfig, solve_power_control
-from repro.experiments import build_experiment, format_table, run_mechanism
+from repro.experiments import format_table, run_mechanism
 from .workloads import fig3_config
 
 

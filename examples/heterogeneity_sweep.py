@@ -15,7 +15,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro.core import AirCompConfig, AirFedGAConfig, ConvergenceConfig, GroupingConfig
+from repro.core import AirFedGAConfig, GroupingConfig
 from repro.experiments import format_table, lr_mnist_config, run_mechanism
 
 

@@ -17,7 +17,6 @@ Run with::
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.channel import RayleighFading
 from repro.core import AirFedGAConfig

@@ -18,7 +18,6 @@ are heterogeneous in link quality as well as in compute speed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 __all__ = ["AirCompConfig", "GroupingConfig", "ConvergenceConfig", "AirFedGAConfig"]
 

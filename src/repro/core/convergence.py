@@ -19,7 +19,6 @@ from typing import Sequence
 
 import numpy as np
 
-from ..channel.aircomp import aggregation_error_term
 from .config import ConvergenceConfig
 
 __all__ = [

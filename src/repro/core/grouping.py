@@ -25,7 +25,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from .config import AirFedGAConfig, ConvergenceConfig, GroupingConfig
+from .config import AirFedGAConfig
 from .convergence import grouping_objective
 from .timing import GroupTiming
 

@@ -14,7 +14,7 @@ statistics (the α_i, d_i^k quantities of Table II) are exposed directly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List
 
 import numpy as np
 

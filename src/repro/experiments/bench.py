@@ -1,6 +1,6 @@
 """Performance benchmark harness for the vectorized training/aggregation engine.
 
-Three tiers, each timing the *same* simulation twice — once on the seed's
+Four tiers, each timing the *same* simulation twice — once on the seed's
 sequential reference path (``engine="scalar"``: per-worker Python loops,
 per-member aggregation accumulation, no power-control cache) and once on the
 vectorized path (``engine="auto"``: group-batched matmuls, allocation-free
@@ -8,10 +8,12 @@ vectorized path (``engine="auto"``: group-batched matmuls, allocation-free
 
 1. **grouped_round** — one Air-FedGA grouped round on the MLP workload at
    10/50/200 workers (the Fig. 10 scalability axis);
-2. **cnn_mnist_mini** — a full fig4-style CNN-MNIST mini-run (the CNN falls
-   back to scalar local training, so this isolates the aggregation/ReLU/
-   power-control wins);
-3. **aggregation_micro** — channel-level microbenchmarks of
+2. **grouped_round_cnn** — the same grouped-round scenario on the fig4 CNN
+   workload, exercising the batched Conv2D/MaxPool2D kernels (grouped
+   im2col + one GEMM per layer per step for the whole group);
+3. **cnn_mnist_mini** — a full fig4-style CNN-MNIST mini-run end to end
+   (local training, aggregation, power control and evaluation cadence);
+4. **aggregation_micro** — channel-level microbenchmarks of
    ``aircomp_aggregate`` and ``ideal_group_average`` against their
    reference loops at paper-scale model dimensions.
 
@@ -43,6 +45,7 @@ from .runner import build_experiment
 
 __all__ = [
     "bench_grouped_round",
+    "bench_grouped_round_cnn",
     "bench_cnn_mnist_mini",
     "bench_aggregation_micro",
     "run_bench_suite",
@@ -53,43 +56,21 @@ __all__ = [
 ENGINES = ("scalar", "auto")
 
 
-def bench_grouped_round(
-    num_workers: int, rounds_per_group: int = 3, repeats: int = 3
+def _time_grouped_rounds(
+    make_config, num_workers: int, rounds_per_group: int, repeats: int
 ) -> Dict[str, object]:
-    """Time Air-FedGA grouped rounds (scalar vs batched) at one worker count.
+    """Shared grouped-round timing loop: best-of-N per engine, interleaved.
 
-    Uses the fig3 benchmark scale (8×8 inputs, 32 hidden units, batch 32,
-    5 local steps) with an IID partition so every worker trains the same
-    batch geometry, and ξ = 1 so one grouped round aggregates the whole
-    population — the configuration where the per-round cost is purest
-    local-training + AirComp aggregation.
+    ``make_config(engine)`` returns the :class:`ExperimentConfig` to time on
+    that engine.  Interleaving the engines across repeats means slow drift
+    in machine load biases neither side.
     """
     timings: Dict[str, float] = {engine: float("inf") for engine in ENGINES}
     num_groups = 0
     total_rounds = 0
-    # Interleave the engines across repeats (best-of-N each) so slow drift
-    # in machine load biases neither side.
     for _ in range(repeats):
         for engine in ENGINES:
-            config = lr_mnist_config(
-                num_workers=num_workers,
-                num_train=20 * num_workers,
-                image_size=8,
-                hidden=32,
-                max_rounds=10_000,
-            ).scaled(
-                local_steps=5,
-                batch_size=32,
-                partition_strategy="iid",
-                # Effectively disable per-round evaluation so the timing
-                # isolates local training + aggregation (evaluation cost is
-                # identical on both engines and would dilute the comparison).
-                eval_every=1_000_000,
-                max_eval_samples=32,
-                engine=engine,
-                config=AirFedGAConfig(grouping=GroupingConfig(xi=1.0)),
-            )
-            experiment = build_experiment(config)
+            experiment = build_experiment(make_config(engine))
             trainer = build_trainer("air_fedga", experiment)
             num_groups = len(trainer.groups)
             total_rounds = max(8, num_groups * rounds_per_group)
@@ -109,11 +90,81 @@ def bench_grouped_round(
     }
 
 
+def bench_grouped_round(
+    num_workers: int, rounds_per_group: int = 3, repeats: int = 3
+) -> Dict[str, object]:
+    """Time Air-FedGA grouped rounds (scalar vs batched) at one worker count.
+
+    Uses the fig3 benchmark scale (8×8 inputs, 32 hidden units, batch 32,
+    5 local steps) with an IID partition so every worker trains the same
+    batch geometry, and ξ = 1 so one grouped round aggregates the whole
+    population — the configuration where the per-round cost is purest
+    local-training + AirComp aggregation.
+    """
+
+    def make_config(engine: str):
+        return lr_mnist_config(
+            num_workers=num_workers,
+            num_train=20 * num_workers,
+            image_size=8,
+            hidden=32,
+            max_rounds=10_000,
+        ).scaled(
+            local_steps=5,
+            batch_size=32,
+            partition_strategy="iid",
+            # Effectively disable per-round evaluation so the timing
+            # isolates local training + aggregation (evaluation cost is
+            # identical on both engines and would dilute the comparison).
+            eval_every=1_000_000,
+            max_eval_samples=32,
+            engine=engine,
+            config=AirFedGAConfig(grouping=GroupingConfig(xi=1.0)),
+        )
+
+    return _time_grouped_rounds(make_config, num_workers, rounds_per_group, repeats)
+
+
+def bench_grouped_round_cnn(
+    num_workers: int, rounds_per_group: int = 3, repeats: int = 3
+) -> Dict[str, object]:
+    """Time Air-FedGA grouped rounds on the fig4 CNN workload.
+
+    Same scenario shape as :func:`bench_grouped_round` (IID partition,
+    ξ = 1, evaluation disabled) but with the MNIST CNN — two 5×5 Conv2D
+    layers with 2×2 max pooling and a dense head — so the measured delta is
+    the batched Conv2D/MaxPool2D kernel path (grouped im2col, one GEMM per
+    layer per step for the whole group) against the per-worker scalar
+    convolutions.
+    """
+
+    def make_config(engine: str):
+        return cnn_mnist_config(
+            num_workers=num_workers,
+            num_train=20 * num_workers,
+            image_size=8,
+            scale=0.15,
+            max_rounds=10_000,
+        ).scaled(
+            local_steps=5,
+            batch_size=32,
+            partition_strategy="iid",
+            eval_every=1_000_000,
+            max_eval_samples=32,
+            engine=engine,
+            config=AirFedGAConfig(grouping=GroupingConfig(xi=1.0)),
+        )
+
+    return _time_grouped_rounds(make_config, num_workers, rounds_per_group, repeats)
+
+
 def bench_cnn_mnist_mini(max_rounds: int = 12) -> Dict[str, object]:
-    """Time a fig4-style CNN-MNIST mini-run (scalar local training on both
-    engines — Conv2D has no batched kernel yet — so the delta comes from
-    the allocation-free aggregation, the ReLU cleanup and the power-control
-    cache)."""
+    """Time a fig4-style CNN-MNIST mini-run end to end.
+
+    Unlike the grouped-round tiers this keeps the fig4 label-skew
+    partition and round structure; with the batched Conv2D/MaxPool2D
+    kernels the ``auto`` engine now group-batches the CNN local training
+    on top of the allocation-free aggregation and power-control cache."""
     timings: Dict[str, float] = {}
     for engine in ENGINES:
         config = cnn_mnist_config(
@@ -184,15 +235,17 @@ def bench_aggregation_micro(
 def run_bench_suite(
     quick: bool = False, worker_counts: Sequence[int] = (10, 50, 200)
 ) -> Dict[str, object]:
-    """Run all three tiers and return one results record."""
+    """Run all four tiers and return one results record."""
     if quick:
         worker_counts = tuple(w for w in worker_counts if w <= 50) or (10,)
+    rounds_per_group = 1 if quick else 3
+    repeats = 1 if quick else 3
     grouped = [
-        bench_grouped_round(
-            w,
-            rounds_per_group=1 if quick else 3,
-            repeats=1 if quick else 3,
-        )
+        bench_grouped_round(w, rounds_per_group=rounds_per_group, repeats=repeats)
+        for w in worker_counts
+    ]
+    grouped_cnn = [
+        bench_grouped_round_cnn(w, rounds_per_group=rounds_per_group, repeats=repeats)
         for w in worker_counts
     ]
     cnn = bench_cnn_mnist_mini(max_rounds=4 if quick else 12)
@@ -203,6 +256,7 @@ def run_bench_suite(
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "quick": quick,
         "grouped_round": grouped,
+        "grouped_round_cnn": grouped_cnn,
         "cnn_mnist_mini": cnn,
         "aggregation_micro": micro,
     }
@@ -226,14 +280,18 @@ def write_bench_results(
 
 def format_bench_summary(record: Dict[str, object]) -> str:
     lines = ["Perf benchmark summary (scalar reference vs vectorized engine):"]
-    for row in record["grouped_round"]:
-        lines.append(
-            f"  grouped round, {row['num_workers']:4d} workers "
-            f"({row['num_groups']} groups): "
-            f"{row['scalar_s_per_round'] * 1e3:8.1f} ms -> "
-            f"{row['batched_s_per_round'] * 1e3:8.1f} ms  "
-            f"({row['speedup']:.2f}x)"
-        )
+    for key, label in (
+        ("grouped_round", "grouped round (MLP)"),
+        ("grouped_round_cnn", "grouped round (CNN)"),
+    ):
+        for row in record.get(key, []):
+            lines.append(
+                f"  {label}, {row['num_workers']:4d} workers "
+                f"({row['num_groups']} groups): "
+                f"{row['scalar_s_per_round'] * 1e3:8.1f} ms -> "
+                f"{row['batched_s_per_round'] * 1e3:8.1f} ms  "
+                f"({row['speedup']:.2f}x)"
+            )
     cnn = record["cnn_mnist_mini"]
     lines.append(
         f"  CNN-MNIST mini-run ({cnn['max_rounds']} rounds): "

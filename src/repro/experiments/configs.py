@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Optional
 
-from ..core.config import AirCompConfig, AirFedGAConfig, ConvergenceConfig, GroupingConfig
+from ..core.config import AirFedGAConfig
 from ..data.synthetic import (
     Dataset,
     make_cifar10_like,

@@ -8,16 +8,12 @@ EXPERIMENTS.md records the paper-vs-measured comparison.
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..core.config import AirFedGAConfig, GroupingConfig
 from ..core.grouping import GroupingProblem, greedy_grouping
-from ..core.power_control import solve_power_control
-from ..data.partition import partition_label_skew
-from ..fl.history import TrainingHistory
 from .configs import ExperimentConfig, cnn_mnist_config
 from .runner import build_experiment, run_comparison, run_mechanism
 

@@ -2,16 +2,14 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 
 from ..core.grouping import (
     GroupingProblem,
     greedy_grouping,
-    singleton_grouping,
-    tier_grouping,
-)
+    tier_grouping)
 from ..data.partition import Partition
 from ..data.stats import average_emd, worker_emds
 from .configs import ExperimentConfig, cnn_mnist_config
@@ -89,20 +87,12 @@ def mechanism_comparison(
     run_big = run_comparison(cfg, mechanisms=mechanisms)
     run_small = run_comparison(cfg_small, mechanisms=mechanisms)
 
-    experiment = build_experiment(cfg)
-    local_times = experiment.latency.nominal_times()
-    global_dist = experiment.partition.global_distribution()
-    class_dist = experiment.partition.class_distribution()
-
     out: Dict[str, Dict[str, object]] = {}
     for name in mechanisms:
         hist_big = run_big.histories[name]
         hist_small = run_small.histories[name]
         avg_round_big = hist_big.average_round_time()
         avg_round_small = hist_small.average_round_time()
-        # Communication consumption proxy: round time minus the slowest
-        # participant's compute time, averaged (upload phase length).
-        comm_proxy = avg_round_big
         # Non-IID proxy: average EMD of per-round participant label mix.
         emds: List[float] = []
         waits: List[float] = []

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from .base import BaseTrainer, FLExperiment
+from .base import BaseTrainer
 from .history import TrainingHistory
 
 __all__ = ["AirFedAvgTrainer"]

@@ -93,12 +93,13 @@ class FLExperiment:
     oma: OMAConfig = field(default_factory=OMAConfig)
     #: Local-training execution engine: ``"auto"`` uses the vectorized
     #: group-batched engine whenever every model layer has a batched kernel
-    #: (Dense/ReLU/Flatten — i.e. the LR/MLP workloads) and falls back to
-    #: the per-worker scalar path otherwise; ``"batched"`` requires the
-    #: batched engine (raises if the model is unsupported); ``"scalar"``
-    #: forces the seed's sequential per-worker path (also switching
-    #: aggregation to the reference loop implementations — used as the
-    #: benchmark baseline).
+    #: (Dense/ReLU/Flatten/Conv2D/MaxPool2D/Dropout — i.e. every LR, CNN
+    #: and MiniVGG workload of the paper) and falls back to the per-worker
+    #: scalar path otherwise (custom layers without a registered kernel);
+    #: ``"batched"`` requires the batched engine (raises if the model is
+    #: unsupported); ``"scalar"`` forces the seed's sequential per-worker
+    #: path (also switching aggregation to the reference loop
+    #: implementations — used as the benchmark baseline).
     engine: str = "auto"
     #: Model dimension used for *latency/energy* computations.  The paper's
     #: models have 10^5-10^8 parameters; the NumPy substrate trains scaled
@@ -192,7 +193,8 @@ class BaseTrainer:
             if experiment.engine == "batched" and self._engine is None:
                 raise ValueError(
                     "engine='batched' requested but the model contains layers "
-                    "without a batched kernel (e.g. Conv2D); use engine='auto'"
+                    "without a registered batched kernel (see "
+                    "repro.nn.batched.register_batched_kernel); use engine='auto'"
                 )
         self._local_sgd: Optional[SGD] = None
         self._update_out: np.ndarray = np.empty(dim, dtype=dtype)

@@ -14,9 +14,8 @@ from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
 
-from .base import BaseTrainer, FLExperiment
+from .base import BaseTrainer
 from .history import TrainingHistory
 
 __all__ = ["FedAvgTrainer"]

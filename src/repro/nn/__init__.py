@@ -14,7 +14,12 @@ from .params import (
     parameter_dtype,
     unflatten_vector,
 )
-from .batched import BatchedWorkerEngine, batched_layer_supported
+from .batched import (
+    BatchedKernel,
+    BatchedWorkerEngine,
+    batched_layer_supported,
+    register_batched_kernel,
+)
 from .layers import (
     Conv2D,
     Dense,
@@ -53,8 +58,10 @@ __all__ = [
     "unflatten_vector",
     "default_dtype",
     "parameter_dtype",
+    "BatchedKernel",
     "BatchedWorkerEngine",
     "batched_layer_supported",
+    "register_batched_kernel",
     "Layer",
     "Dense",
     "ReLU",

@@ -6,44 +6,159 @@ only the mini-batches (and, after the first step, the diverged parameters)
 differ.  The scalar path in :meth:`repro.fl.base.BaseTrainer.local_update`
 pays the full Python/NumPy dispatch overhead G times per round; this module
 instead stacks the per-worker parameters into leading-axis tensors (Dense
-weights become ``(G, in, out)``) and runs **one** batched matmul per layer
-per SGD step for the whole group.
+weights become ``(G, in, out)``, Conv2D weights ``(G, C_out, C_in, kh, kw)``)
+and runs **one** batched matmul per layer per SGD step for the whole group.
 
-Supported layers: :class:`~repro.nn.layers.Dense`,
-:class:`~repro.nn.layers.ReLU` and :class:`~repro.nn.layers.Flatten` — which
-covers the paper's "LR"/MLP workloads end to end.  Models containing other
-layers (Conv2D, MaxPool2D, Dropout) are reported as unsupported and the
-trainers fall back to the scalar per-worker path (see ROADMAP open items for
-the batched Conv2D kernel follow-up).
+Kernels are composed through a registry: each supported layer type maps to a
+:class:`BatchedKernel` factory via :func:`register_batched_kernel`, and
+:meth:`BatchedWorkerEngine.try_build` succeeds exactly when every layer of a
+:class:`~repro.nn.models.SequentialModel` has a registered kernel.  Built-in
+kernels cover :class:`~repro.nn.layers.Dense`, :class:`~repro.nn.layers.ReLU`,
+:class:`~repro.nn.layers.Flatten`, :class:`~repro.nn.layers.Conv2D` (batched
+im2col — the ``(N, C, H, W)`` column transform of ``nn/layers.py`` lifted to a
+``(G, N, C, H, W)`` leading group axis and contracted as one grouped matmul
+over the ``(G, q_cols, k)`` column tensor), :class:`~repro.nn.layers.MaxPool2D`
+(grouped argmax mask) and :class:`~repro.nn.layers.Dropout` — i.e. every
+layer the paper's LR/CNN/MiniVGG workloads use.  Models containing other
+(custom) layers are reported as unsupported and the trainers fall back to
+the scalar per-worker path.
 
 Numerical contract: for a given ``(seed, worker_id, round_index)`` the
 engine draws exactly the same mini-batch indices as the scalar path and
 performs the same sequence of per-worker matmul/elementwise operations, so
 the stacked results match the sequential reference to ~1e-9 per parameter
-in float64 (bit-identical up to BLAS reduction-order differences).
+in float64 (bit-identical up to BLAS reduction-order differences; with
+uniform per-worker batch sizes the per-slice GEMM shapes equal the scalar
+shapes and the match is bit-for-bit).  Dropout kernels consume the layer's
+own random stream in the scalar path's worker-major order, so dropout
+models keep the same equivalence guarantee.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
-from .layers import Dense, Flatten, ReLU
+from .layers import Conv2D, Dense, Dropout, Flatten, Layer, MaxPool2D, ReLU
 from .models import Model, SequentialModel
 
-__all__ = ["BatchedWorkerEngine", "batched_layer_supported"]
+__all__ = [
+    "BatchedKernel",
+    "BatchedWorkerEngine",
+    "batched_layer_supported",
+    "register_batched_kernel",
+]
+
+
+class BatchedKernel(Protocol):
+    """Protocol implemented by batched (leading group axis) layer kernels.
+
+    A kernel operates on ``(G, B, ...)`` tensors where ``G`` is the group
+    size and ``B`` the (padded) per-worker mini-batch size.
+
+    Required interface:
+
+    * ``param_size`` — number of scalar parameters the kernel owns in the
+      flat model vector (0 for activation/reshape kernels);
+    * ``forward(x)`` / ``backward(grad_out)`` — stacked forward/backward.
+
+    Parametric kernels (``param_size > 0``) additionally implement
+    ``bind(group, batch, dtype)`` (attach per-signature buffers),
+    ``load(base_vector)`` (broadcast the shared base parameters),
+    ``dump(out)`` (write each member's flat parameters into its row) and
+    ``sgd_step(lr)``.  Optional hooks, discovered by the engine via
+    ``hasattr``: ``begin_round(batches, local_steps)`` called once per
+    :meth:`BatchedWorkerEngine.run_group` and ``begin_step(step)`` called
+    before each SGD step (used by stateful kernels such as Dropout).
+    Kernels exposing a ``skip_input_grad`` attribute have it set to ``True``
+    when they are the model's first parametric layer, allowing them to skip
+    the (largest) input-gradient computation.
+    """
+
+    param_size: int
+
+    def forward(self, x: np.ndarray) -> np.ndarray: ...
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray: ...
+
+
+#: Layer type -> kernel factory ``(layer, offset) -> BatchedKernel`` where
+#: ``offset`` is the layer's position in the flat parameter vector.
+_KERNEL_REGISTRY: Dict[type, Callable[[Layer, int], BatchedKernel]] = {}
+
+#: Cache-blocking tile size (elements of padded gradient image per chunk)
+#: for the stride-1 col2im scatter-add: ~256 KiB of float64 keeps the
+#: chunk's gradient tile L2-resident across the kh·kw accumulation passes.
+_COL2IM_TILE = 32768
+
+#: Convolutional models run the group in sub-tiles of this many workers:
+#: image-sized activation/column buffers for a large group overflow the CPU
+#: caches and every pass streams from DRAM, so tiling is faster despite the
+#: extra dispatches (measured ~25% on the 50-worker CNN grouped round).
+#: Per-worker results are unchanged — each member's per-slice GEMM shapes
+#: and elementwise ops do not depend on how the group is split, so tiling
+#: preserves the scalar-path equivalence bit for bit.  Dense/MLP models
+#: stay untiled (their per-worker buffers are small and the one-big-matmul
+#: layout is what delivers their speedup).
+_CONV_GROUP_TILE = 12
+
+
+def register_batched_kernel(
+    layer_type: type,
+) -> Callable[[Callable[[Layer, int], BatchedKernel]], Callable[[Layer, int], BatchedKernel]]:
+    """Register a :class:`BatchedKernel` factory for ``layer_type``.
+
+    Usable as a class decorator::
+
+        @register_batched_kernel(MyLayer)
+        class _BatchedMyLayer:
+            param_size = 0
+            ...
+
+    Lookup walks the layer's MRO, so subclasses inherit their base class's
+    kernel unless they register their own.
+    """
+
+    def decorator(factory: Callable[[Layer, int], BatchedKernel]):
+        _KERNEL_REGISTRY[layer_type] = factory
+        return factory
+
+    return decorator
+
+
+def _kernel_factory(layer: object) -> Optional[Callable[[Layer, int], BatchedKernel]]:
+    for klass in type(layer).__mro__:
+        factory = _KERNEL_REGISTRY.get(klass)
+        if factory is not None:
+            return factory
+    return None
 
 
 def batched_layer_supported(layer: object) -> bool:
     """Whether ``layer`` has a batched (leading group axis) kernel."""
-    return isinstance(layer, (Dense, ReLU, Flatten))
+    return _kernel_factory(layer) is not None
+
+
+def _has_shared_dropout_rng(model: SequentialModel) -> bool:
+    """Whether two active Dropout layers share one random generator.
+
+    The batched Dropout kernel replays each layer's generator in the scalar
+    path's worker-major order, which only reproduces the scalar stream when
+    every Dropout layer owns its generator (see :class:`_BatchedDropout`).
+    """
+    rng_ids = [
+        id(layer._rng)
+        for layer in model.layers
+        if isinstance(layer, Dropout) and layer.rate > 0.0
+    ]
+    return len(rng_ids) != len(set(rng_ids))
 
 
 # ----------------------------------------------------------------------
-# Batched layer kernels.  Activations operate on (G, B, ...) tensors where
-# G is the group size and B the (padded) per-worker mini-batch size.
+# Batched layer kernels.
 # ----------------------------------------------------------------------
+@register_batched_kernel(Dense)
 class _BatchedDense:
     """``y[g] = x[g] @ W[g] + b[g]`` for all group members at once."""
 
@@ -118,8 +233,8 @@ class _BatchedDense:
             out += self.bias[:, None, :]
         return out
 
-    #: Set on the first layer of the network: nothing upstream needs the
-    #: input gradient, so its (largest) backward matmul is skipped.
+    #: Set on the first parametric layer of the network: nothing upstream
+    #: needs the input gradient, so its (largest) backward matmul is skipped.
     skip_input_grad = False
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
@@ -142,15 +257,18 @@ class _BatchedDense:
             self.bias -= self.grad_bias
 
 
+@register_batched_kernel(ReLU)
 class _BatchedReLU:
-    def __init__(self) -> None:
+    param_size = 0
+
+    def __init__(self, layer: ReLU, offset: int) -> None:
         self._buffers: Dict[Tuple[int, ...], Tuple[np.ndarray, np.ndarray]] = {}
         self._mask: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         bufs = self._buffers.get(x.shape)
         if bufs is None:
-            bufs = (np.empty(x.shape, dtype=bool), np.empty_like(x))
+            bufs = (np.empty(x.shape, dtype=bool), np.empty(x.shape, dtype=x.dtype))
             self._buffers[x.shape] = bufs
         mask, out = bufs
         self._mask = mask
@@ -164,8 +282,11 @@ class _BatchedReLU:
         return grad_out
 
 
+@register_batched_kernel(Flatten)
 class _BatchedFlatten:
-    def __init__(self) -> None:
+    param_size = 0
+
+    def __init__(self, layer: Flatten, offset: int) -> None:
         self._shape: Optional[Tuple[int, ...]] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
@@ -176,47 +297,475 @@ class _BatchedFlatten:
         return grad_out.reshape(self._shape)
 
 
+@register_batched_kernel(Conv2D)
+class _BatchedConv2D:
+    """Grouped im2col convolution: one GEMM per group per direction.
+
+    The scalar layer turns each worker's ``(N, C, H, W)`` input into a
+    ``(N·oh·ow, C·kh·kw)`` column matrix and contracts it with the flattened
+    filter bank.  This kernel lifts the transform to a leading group axis:
+    the stacked ``(G, B, C, H, W)`` activations become one ``(G, B·oh·ow, k)``
+    column tensor (built with the same stride-tricks window view, one copy),
+    and the forward/weight-gradient/input-gradient contractions run as
+    batched matmuls over the group axis.  The col2im scatter-add for the
+    input gradient reuses the scalar loop structure on the fused ``(G·B)``
+    batch.  Per-slice GEMM shapes equal the scalar layer's shapes, so the
+    result matches the scalar path bit-for-bit for uniform batch sizes.
+    """
+
+    skip_input_grad = False
+
+    def __init__(self, layer: Conv2D, offset: int) -> None:
+        self.in_channels = layer.in_channels
+        self.out_channels = layer.out_channels
+        self.kernel_size = layer.kernel_size
+        self.stride = layer.stride
+        self.padding = layer.padding
+        self.has_bias = layer.bias is not None
+        self.weight_shape = layer.weight.value.shape
+        self.weight_offset = offset
+        self.weight_size = layer.weight.value.size
+        self.bias_offset = offset + self.weight_size
+        self.bias_size = layer.bias.value.size if self.has_bias else 0
+        self.param_size = self.weight_size + self.bias_size
+        self.k_cols = self.in_channels * self.kernel_size * self.kernel_size
+        self._param_buffers: Dict[int, Tuple] = {}
+        # Activation-side buffers (padded input, column tensor, GEMM outputs,
+        # gradient scratch) depend on the input shape, which is only known at
+        # forward time; cache per ``(G, B, C, H, W)`` signature.
+        self._act: Dict[Tuple[int, ...], Dict[str, object]] = {}
+        self.weight: Optional[np.ndarray] = None
+        self.bias: Optional[np.ndarray] = None
+        self.grad_weight: Optional[np.ndarray] = None
+        self.grad_bias: Optional[np.ndarray] = None
+        self._geo: Optional[Dict[str, object]] = None
+
+    # -- parameter plumbing (same layout contract as _BatchedDense) ------
+    def bind(self, group: int, batch: int, dtype: np.dtype) -> None:
+        bufs = self._param_buffers.get(group)
+        if bufs is None:
+            weight = np.empty((group,) + self.weight_shape, dtype=dtype)
+            grad_weight = np.empty_like(weight)
+            bias = grad_bias = None
+            if self.has_bias:
+                bias = np.empty((group, self.out_channels), dtype=dtype)
+                grad_bias = np.empty_like(bias)
+            bufs = (weight, grad_weight, bias, grad_bias)
+            self._param_buffers[group] = bufs
+        self.weight, self.grad_weight, self.bias, self.grad_bias = bufs
+
+    def load(self, base_vector: np.ndarray) -> None:
+        w = base_vector[self.weight_offset : self.weight_offset + self.weight_size]
+        np.copyto(self.weight, w.reshape(self.weight_shape)[None])
+        if self.has_bias:
+            b = base_vector[self.bias_offset : self.bias_offset + self.bias_size]
+            np.copyto(self.bias, b[None])
+
+    def dump(self, out: np.ndarray) -> None:
+        g = self.weight.shape[0]
+        out[:, self.weight_offset : self.weight_offset + self.weight_size] = (
+            self.weight.reshape(g, self.weight_size)
+        )
+        if self.has_bias:
+            out[:, self.bias_offset : self.bias_offset + self.bias_size] = self.bias
+
+    def sgd_step(self, lr: float) -> None:
+        self.grad_weight *= lr
+        self.weight -= self.grad_weight
+        if self.has_bias:
+            self.grad_bias *= lr
+            self.bias -= self.grad_bias
+
+    # -- geometry / buffers ----------------------------------------------
+    def _buffers_for(self, shape: Tuple[int, ...], dtype: np.dtype) -> Dict[str, object]:
+        geo = self._act.get(shape)
+        if geo is None:
+            g, b, c, h, w = shape
+            kh = self.kernel_size
+            s, p = self.stride, self.padding
+            out_h = (h + 2 * p - kh) // s + 1
+            out_w = (w + 2 * p - kh) // s + 1
+            if out_h <= 0 or out_w <= 0:
+                raise ValueError(
+                    f"kernel {(kh, kh)} with stride {s}, padding {p} does not "
+                    f"fit input of spatial size {(h, w)}"
+                )
+            m = b * out_h * out_w
+            geo = {
+                "out_h": out_h,
+                "out_w": out_w,
+                "padded": (
+                    np.zeros((g, b, c, h + 2 * p, w + 2 * p), dtype=dtype) if p else None
+                ),
+                "cols": np.empty((g, m, self.k_cols), dtype=dtype),
+                "out_mat": np.empty((g, m, self.out_channels), dtype=dtype),
+                "out": np.empty((g, b, self.out_channels, out_h, out_w), dtype=dtype),
+                "grad_mat": np.empty((g, m, self.out_channels), dtype=dtype),
+                "grad_cols": None,
+                "grad_pad": None,
+            }
+            if not self.skip_input_grad:
+                geo["grad_cols"] = np.empty((g, m, self.k_cols), dtype=dtype)
+                geo["grad_pad"] = np.empty((g, b, c, h + 2 * p, w + 2 * p), dtype=dtype)
+                if s == 1:
+                    # Stride-1 col2im staging buffer: source rows padded from
+                    # ow to the full padded width wp so each kernel-position
+                    # add is one contiguous run per (image, channel) instead
+                    # of an ow-strided window.  The [ow:wp) gap columns are
+                    # zeroed once and never written, so they contribute
+                    # exact zeros.  Sized for one image chunk (cache
+                    # blocking): the 25 kernel-position adds re-walk the
+                    # chunk's gradient tile while it is cache-hot instead of
+                    # streaming the full (G·B) gradient from memory 25 times.
+                    chunk = max(1, _COL2IM_TILE // max(1, c * (h + 2 * p) * (w + 2 * p)))
+                    geo["chunk"] = chunk
+                    geo["scatter"] = np.zeros(
+                        (chunk, c, kh, kh, out_h, w + 2 * p), dtype=dtype
+                    )
+            self._act[shape] = geo
+        return geo
+
+    # -- forward / backward ----------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        g, b, c, h, w = x.shape
+        if c != self.in_channels:
+            raise ValueError(
+                f"batched Conv2D expects {self.in_channels} input channels, "
+                f"got shape {x.shape}"
+            )
+        geo = self._buffers_for(x.shape, x.dtype)
+        self._geo = geo
+        self._x_shape = x.shape
+        kh = self.kernel_size
+        s, p = self.stride, self.padding
+        oh, ow = geo["out_h"], geo["out_w"]
+        if p:
+            padded = geo["padded"]
+            padded[:, :, :, p : p + h, p : p + w] = x
+            src = padded
+        else:
+            src = x
+        gb = g * b
+        src4 = src.reshape(gb, c, h + 2 * p, w + 2 * p)
+        s0, s1, s2, s3 = src4.strides
+        windows = np.lib.stride_tricks.as_strided(
+            src4,
+            shape=(gb, c, oh, ow, kh, kh),
+            strides=(s0, s1, s2 * s, s3 * s, s2, s3),
+            writeable=False,
+        )
+        # One copy reorders the window view into the (G, B·oh·ow, k) column
+        # tensor — the grouped equivalent of the scalar layer's im2col copy.
+        cols = geo["cols"]
+        cols6 = cols.reshape(gb, oh, ow, c, kh, kh)
+        np.copyto(cols6, windows.transpose(0, 2, 3, 1, 4, 5))
+        w_mat_t = self.weight.reshape(g, self.out_channels, self.k_cols).transpose(0, 2, 1)
+        out_mat = geo["out_mat"]
+        np.matmul(cols, w_mat_t, out=out_mat)
+        if self.has_bias:
+            out_mat += self.bias[:, None, :]
+        out = geo["out"]
+        np.copyto(
+            out,
+            out_mat.reshape(g, b, oh, ow, self.out_channels).transpose(0, 1, 4, 2, 3),
+        )
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        geo = self._geo
+        g, b, c, h, w = self._x_shape
+        co = self.out_channels
+        oh, ow = geo["out_h"], geo["out_w"]
+        grad_mat = geo["grad_mat"]
+        np.copyto(
+            grad_mat.reshape(g, b, oh, ow, co), grad_out.transpose(0, 1, 3, 4, 2)
+        )
+        cols = geo["cols"]
+        np.matmul(
+            grad_mat.transpose(0, 2, 1),
+            cols,
+            out=self.grad_weight.reshape(g, co, self.k_cols),
+        )
+        if self.has_bias:
+            np.sum(grad_mat, axis=1, out=self.grad_bias)
+        if self.skip_input_grad:
+            return grad_out
+        w_mat = self.weight.reshape(g, co, self.k_cols)
+        grad_cols = geo["grad_cols"]
+        np.matmul(grad_mat, w_mat, out=grad_cols)
+        # col2im scatter-add over the fused (G·B) batch — the same i/j loop
+        # order as the scalar ``col2im``, so the adds associate identically
+        # per cell and the accumulated gradient matches the scalar path.
+        kh = self.kernel_size
+        s, p = self.stride, self.padding
+        hp, wp = h + 2 * p, w + 2 * p
+        grad_pad = geo["grad_pad"]
+        grad_pad.fill(0.0)
+        cols6 = grad_cols.reshape(g * b, oh, ow, c, kh, kh)
+        if s == 1:
+            # Fast path: stage the columns as zero-gap-padded rows (ow -> wp)
+            # so every kernel position (i, j) adds one contiguous
+            # ((oh-1)·wp + ow)-long run per (image, channel).  The gap cells
+            # receive exact zeros, and real cells still accumulate their
+            # contributions in the scalar (i, j) order — chunking over
+            # images only partitions the cells, never reorders one cell's
+            # adds, so the result stays identical to the scalar col2im.
+            scatter = geo["scatter"]
+            chunk = geo["chunk"]
+            gp3 = grad_pad.reshape(g * b, c, hp * wp)
+            run = (oh - 1) * wp + ow
+            for n0 in range(0, g * b, chunk):
+                n1 = min(n0 + chunk, g * b)
+                sc = scatter[: n1 - n0]
+                np.copyto(sc[..., :ow], cols6[n0:n1].transpose(0, 3, 4, 5, 1, 2))
+                tile = gp3[n0:n1].reshape((n1 - n0) * c, hp * wp)
+                sc2 = sc.reshape((n1 - n0) * c, kh * kh, oh * wp)
+                idx = 0
+                for i in range(kh):
+                    for j in range(kh):
+                        start = i * wp + j
+                        tile[:, start : start + run] += sc2[:, idx, :run]
+                        idx += 1
+        else:
+            gp4 = grad_pad.reshape(g * b, c, hp, wp)
+            cols6t = cols6.transpose(0, 3, 1, 2, 4, 5)
+            for i in range(kh):
+                i_max = i + s * oh
+                for j in range(kh):
+                    j_max = j + s * ow
+                    gp4[:, :, i:i_max:s, j:j_max:s] += cols6t[:, :, :, :, i, j]
+        if p:
+            return grad_pad[:, :, :, p:-p, p:-p]
+        return grad_pad
+
+
+@register_batched_kernel(MaxPool2D)
+class _BatchedMaxPool2D:
+    """Grouped non-overlapping max pooling with the scalar layer's tie rule.
+
+    Pooling windows come from one reshape of the ``(G, B, C, H, W)`` tensor;
+    the backward mask divides ties evenly exactly like the scalar layer
+    (``mask / counts``), so gradients match bit-for-bit.  The spatial size
+    must be divisible by ``pool_size`` — the same constraint the scalar
+    :class:`~repro.nn.layers.MaxPool2D` validates at forward time.
+    """
+
+    param_size = 0
+
+    def __init__(self, layer: MaxPool2D, offset: int) -> None:
+        self.pool_size = layer.pool_size
+        self.name = layer.name
+        self._buffers: Dict[Tuple[int, ...], Dict[str, np.ndarray]] = {}
+        self._geo: Optional[Dict[str, np.ndarray]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        g, b, c, h, w = x.shape
+        p = self.pool_size
+        if h % p != 0 or w % p != 0:
+            raise ValueError(
+                f"MaxPool2D {self.name!r}: spatial size {(h, w)} is not divisible "
+                f"by pool size {p}"
+            )
+        geo = self._buffers.get(x.shape)
+        if geo is None:
+            oh, ow = h // p, w // p
+            geo = {
+                "out": np.empty((g, b, c, oh, ow), dtype=x.dtype),
+                "mask_bool": np.empty((g, b, c, oh, p, ow, p), dtype=bool),
+                "counts": np.empty((g, b, c, oh, ow), dtype=np.int64),
+                "mask": np.empty((g, b, c, oh, p, ow, p), dtype=x.dtype),
+                "grad": np.empty((g, b, c, h, w), dtype=x.dtype),
+            }
+            self._buffers[x.shape] = geo
+        self._geo = geo
+        out = geo["out"]
+        # Each window position (i, j) lives on the strided "quarter" view
+        # x[..., i::p, j::p]; p² element-wise passes replace the (slow)
+        # multi-axis reductions over a 7-D window view.  max and the integer
+        # tie count are order-independent, so the values are identical to
+        # the scalar layer's ``windows.max(axis=(3, 5))`` / ``mask / counts``.
+        np.copyto(out, x[:, :, :, 0::p, 0::p])
+        for i in range(p):
+            for j in range(p):
+                if i or j:
+                    np.maximum(out, x[:, :, :, i::p, j::p], out=out)
+        mask_bool = geo["mask_bool"]
+        counts = geo["counts"]
+        mb7 = mask_bool
+        for i in range(p):
+            for j in range(p):
+                np.equal(x[:, :, :, i::p, j::p], out, out=mb7[:, :, :, :, i, :, j])
+                if i == 0 and j == 0:
+                    np.copyto(counts, mb7[:, :, :, :, i, :, j], casting="unsafe")
+                else:
+                    counts += mb7[:, :, :, :, i, :, j]
+        # Ties share the gradient evenly — identical to the scalar layer's
+        # ``mask / counts`` normalisation.
+        mask = geo["mask"]
+        for i in range(p):
+            for j in range(p):
+                np.divide(
+                    mb7[:, :, :, :, i, :, j], counts, out=mask[:, :, :, :, i, :, j]
+                )
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        geo = self._geo
+        grad = geo["grad"]
+        mask = geo["mask"]
+        np.multiply(
+            mask,
+            grad_out[:, :, :, :, None, :, None],
+            out=grad.reshape(mask.shape),
+        )
+        return grad
+
+
+@register_batched_kernel(Dropout)
+class _BatchedDropout:
+    """Grouped inverted dropout replaying the scalar path's random stream.
+
+    The scalar path trains the group's workers sequentially, so a
+    :class:`~repro.nn.layers.Dropout` layer draws its masks worker-major:
+    all of worker k's steps before any of worker k+1's.  To stay equivalent,
+    this kernel consumes the *same* generator (``layer._rng``) in the same
+    order — on the first forward of a round it pre-draws every (worker,
+    step) mask with the scalar call's exact shapes, then replays mask
+    ``[step]`` on each batched step.  Padded rows keep an all-zero mask.
+
+    Each Dropout layer must own its generator: the per-layer pre-draw
+    reorders the stream relative to the scalar path's per-forward
+    interleaving, so two Dropout layers *sharing* one generator would
+    diverge — :meth:`BatchedWorkerEngine.try_build` detects that case and
+    falls back to the scalar path.
+    """
+
+    param_size = 0
+
+    def __init__(self, layer: Dropout, offset: int) -> None:
+        self.rate = layer.rate
+        self._rng = layer._rng
+        self._batches: Optional[Sequence[int]] = None
+        self._steps = 1
+        self._step = 0
+        self._masks: Optional[np.ndarray] = None
+        #: Mask blocks cached per (steps, G, B, feat) signature — the masks
+        #: are redrawn every round, but into the same buffer.  Kept float64
+        #: regardless of the engine dtype: the scalar layer's
+        #: ``(rng.random(...) < keep) / keep`` mask is float64 too.
+        self._mask_bufs: Dict[Tuple[int, ...], np.ndarray] = {}
+        self._mask: Optional[np.ndarray] = None
+        self._out: Dict[Tuple[int, ...], np.ndarray] = {}
+
+    def begin_round(self, batches: Sequence[int], local_steps: int) -> None:
+        self._batches = batches
+        self._steps = local_steps
+        self._step = 0
+        self._masks = None
+
+    def begin_step(self, step: int) -> None:
+        self._step = step
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if self.rate == 0.0:
+            self._mask = None
+            return x
+        if self._masks is None:
+            keep = 1.0 - self.rate
+            g, b_max = x.shape[0], x.shape[1]
+            feat = x.shape[2:]
+            batches = self._batches if self._batches is not None else [b_max] * g
+            key = (self._steps, g, b_max) + feat
+            masks = self._mask_bufs.get(key)
+            if masks is None:
+                masks = np.empty((self._steps, g, b_max) + feat)
+                self._mask_bufs[key] = masks
+            # Zero first: padded rows (b_k < b_max) must carry a zero mask,
+            # and the padding pattern may differ between groups that share
+            # this buffer signature.
+            masks.fill(0.0)
+            for k in range(g):
+                b_k = batches[k]
+                for s in range(self._steps):
+                    masks[s, k, :b_k] = (self._rng.random((b_k,) + feat) < keep) / keep
+            self._masks = masks
+        out = self._out.get(x.shape)
+        if out is None:
+            out = np.empty(x.shape, dtype=x.dtype)
+            self._out[x.shape] = out
+        mask = self._masks[self._step]
+        self._mask = mask
+        np.multiply(x, mask, out=out)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_out
+        np.multiply(grad_out, self._mask, out=grad_out)
+        return grad_out
+
+
 # ----------------------------------------------------------------------
 class BatchedWorkerEngine:
     """Runs the local SGD of a whole worker group as batched tensor ops.
 
     Build one per trainer with :meth:`try_build`; the engine keeps its
     stacked parameter/activation buffers across rounds, so steady-state
-    group updates allocate almost nothing.
+    group updates allocate almost nothing.  Layer support is determined by
+    the kernel registry (see :func:`register_batched_kernel`).
     """
 
     def __init__(self, model: SequentialModel) -> None:
         self.dimension = model.dimension
-        self.dtype = model.parameters[0].value.dtype if len(model.parameters) else np.dtype(np.float64)
-        self._layers: List[object] = []
-        self._dense: List[_BatchedDense] = []
+        self.dtype = (
+            model.parameters[0].value.dtype
+            if len(model.parameters)
+            else np.dtype(np.float64)
+        )
+        if _has_shared_dropout_rng(model):
+            raise ValueError(
+                "multiple Dropout layers share one random generator; the "
+                "batched kernel replays each layer's stream independently, "
+                "so shared-generator models must use the scalar path "
+                "(use BatchedWorkerEngine.try_build for a graceful fallback)"
+            )
+        self._kernels: List[BatchedKernel] = []
+        self._params: List[BatchedKernel] = []
         offset = 0
         for layer in model.layers:
-            if isinstance(layer, Dense):
-                bd = _BatchedDense(layer, offset)
-                offset += bd.param_size
-                self._layers.append(bd)
-                self._dense.append(bd)
-            elif isinstance(layer, ReLU):
-                self._layers.append(_BatchedReLU())
-            elif isinstance(layer, Flatten):
-                self._layers.append(_BatchedFlatten())
-            else:
+            factory = _kernel_factory(layer)
+            if factory is None:
                 raise ValueError(
                     f"layer {layer!r} has no batched kernel; "
                     "use BatchedWorkerEngine.try_build for a graceful fallback"
                 )
+            kernel = factory(layer, offset)
+            offset += kernel.param_size
+            self._kernels.append(kernel)
+            if kernel.param_size:
+                self._params.append(kernel)
         if offset != self.dimension:
             raise ValueError(
                 "batched layer parameters do not cover the model vector "
                 f"({offset} of {self.dimension} entries)"
             )
-        # The input gradient of the network's first layer is never consumed
-        # (ReLU/Flatten before it carry no parameters either way).
-        for layer in self._layers:
-            if isinstance(layer, _BatchedDense):
-                layer.skip_input_grad = True
-                break
+        # The input gradient of the network's first parametric layer is never
+        # consumed (activation/reshape kernels before it carry no parameters).
+        if self._params and hasattr(self._params[0], "skip_input_grad"):
+            self._params[0].skip_input_grad = True
+        # Backward pass stops at the first parametric kernel: it skips its
+        # input gradient, and kernels before it own no parameters, so their
+        # backward methods would only consume (mis-shaped) skipped output.
+        self._first_param_index = (
+            self._kernels.index(self._params[0]) if self._params else 0
+        )
+        self._round_hooks = [k for k in self._kernels if hasattr(k, "begin_round")]
+        self._step_hooks = [k for k in self._kernels if hasattr(k, "begin_step")]
+        self._tile: Optional[int] = (
+            _CONV_GROUP_TILE
+            if any(isinstance(k, _BatchedConv2D) for k in self._kernels)
+            else None
+        )
         # Cached sampling geometry (input buffers, padding masks, divisors),
         # keyed by the per-worker batch-size signature of a group.
         self._geometry: Dict[Tuple, Dict[str, np.ndarray]] = {}
@@ -232,9 +781,11 @@ class BatchedWorkerEngine:
         batched kernel (the caller then uses the scalar per-worker path)."""
         if not isinstance(model, SequentialModel):
             return None
-        if not all(batched_layer_supported(l) for l in model.layers):
+        if not all(batched_layer_supported(layer) for layer in model.layers):
             return None
         if len(model.parameters) == 0:
+            return None
+        if _has_shared_dropout_rng(model):
             return None
         return cls(model)
 
@@ -265,6 +816,23 @@ class BatchedWorkerEngine:
             raise ValueError(
                 f"out has shape {out.shape}, expected {(len(ids), self.dimension)}"
             )
+        # Convolutional models: split large groups into cache-sized tiles
+        # (see _CONV_GROUP_TILE; per-worker results are identical).
+        if self._tile is not None and len(ids) > self._tile:
+            for k0 in range(0, len(ids), self._tile):
+                k1 = min(k0 + self._tile, len(ids))
+                self.run_group(
+                    ids[k0:k1],
+                    worker_data[k0:k1],
+                    base_vector,
+                    round_index,
+                    learning_rate=learning_rate,
+                    local_steps=local_steps,
+                    batch_size=batch_size,
+                    seed=seed,
+                    out=out[k0:k1],
+                )
+            return out
         # Workers without data keep the base model; train the rest together.
         has_data = [x.shape[0] > 0 for x, _ in worker_data]
         active = [k for k, ok in enumerate(has_data) if ok]
@@ -332,11 +900,15 @@ class BatchedWorkerEngine:
         xb_flat = xb.reshape((g * b_max,) + feat_shape)
         yb_flat = yb.reshape(g * b_max)
 
-        for bd in self._dense:
-            bd.bind(g, b_max, self.dtype)
-            bd.load(base_vector)
+        for kernel in self._params:
+            kernel.bind(g, b_max, self.dtype)
+            kernel.load(base_vector)
+        for kernel in self._round_hooks:
+            kernel.begin_round(batches_py, local_steps)
 
-        for _ in range(local_steps):
+        for step in range(local_steps):
+            for kernel in self._step_hooks:
+                kernel.begin_step(step)
             for k in range(g):
                 idx = rngs[k].choice(counts_py[k], size=batches_py[k], replace=False)
                 idx += offsets[k]
@@ -344,8 +916,8 @@ class BatchedWorkerEngine:
             np.take(x_cat, gidx.reshape(-1), axis=0, out=xb_flat)
             np.take(y_cat, gidx.reshape(-1), out=yb_flat)
             h = xb
-            for layer in self._layers:
-                h = layer.forward(h)
+            for kernel in self._kernels:
+                h = kernel.forward(h)
             # Fused softmax cross-entropy gradient: (softmax − one-hot) / B_k
             # per worker — exactly the scalar loss normalisation, computed
             # in place in the logits buffer; padded rows are zeroed by the
@@ -359,14 +931,14 @@ class BatchedWorkerEngine:
             grad /= geo["batch_div"]
             if ragged:
                 grad *= geo["valid"][:, :, None]
-            for layer in reversed(self._layers):
-                grad = layer.backward(grad)
-            for bd in self._dense:
-                bd.sgd_step(learning_rate)
+            for kernel in reversed(self._kernels[self._first_param_index :]):
+                grad = kernel.backward(grad)
+            for kernel in self._params:
+                kernel.sgd_step(learning_rate)
 
         rows = out[active] if len(active) != len(ids) else out
-        for bd in self._dense:
-            bd.dump(rows)
+        for kernel in self._params:
+            kernel.dump(rows)
         if rows is not out:
             out[active] = rows
         return out

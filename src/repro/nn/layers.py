@@ -366,7 +366,21 @@ class Conv2D(Layer):
 
 
 class MaxPool2D(Layer):
-    """Non-overlapping max pooling (stride equals the pooling window)."""
+    """Non-overlapping max pooling (stride equals the pooling window).
+
+    Shape constraint
+    ----------------
+    Both spatial dimensions of the input must be **divisible by
+    ``pool_size``** — the layer uses reshape-based windowing (stride ==
+    kernel, no implicit padding or truncation), which is the case for every
+    model in the paper.  :meth:`forward` validates the constraint and raises
+    a :class:`ValueError` naming the offending shape, so a mismatched
+    architecture fails fast on its first batch rather than mid-training
+    with an opaque reshape error.  Choose the input image size so that each
+    pooling stage halves (for ``pool_size=2``) an even spatial extent, e.g.
+    ``image_size % 4 == 0`` for the two-pool CNNs in
+    :mod:`repro.nn.models`.
+    """
 
     def __init__(self, name: str, pool_size: int = 2) -> None:
         super().__init__(name)
@@ -400,8 +414,7 @@ class MaxPool2D(Layer):
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._cache is None:
             raise RuntimeError("backward called before forward")
-        mask, input_shape, (out_h, out_w) = self._cache
-        p = self.pool_size
+        mask, input_shape, _ = self._cache
         grad = mask * grad_out[:, :, :, None, :, None]
         return grad.reshape(input_shape)
 

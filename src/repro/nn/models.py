@@ -33,13 +33,11 @@ import numpy as np
 from .layers import (
     Conv2D,
     Dense,
-    Dropout,
     Flatten,
     Layer,
     MaxPool2D,
     ReLU,
-    collect_parameters,
-)
+    collect_parameters)
 from .losses import accuracy, softmax_cross_entropy
 from .params import ParameterSet
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict
 
 __all__ = ["EventType", "Event", "ReadyMessage", "ExecuteMessage"]
 

@@ -7,11 +7,10 @@ minute while still exercising every code path of the library.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.channel import RayleighFading, StaticChannel
-from repro.core import AirCompConfig, AirFedGAConfig, ConvergenceConfig, GroupingConfig
+from repro.core import AirCompConfig, AirFedGAConfig
 from repro.data import Dataset, make_mnist_like, partition_label_skew
 from repro.fl import FLExperiment
 from repro.nn import LogisticRegressionMLP

@@ -6,8 +6,6 @@ import numpy as np
 import pytest
 
 from repro.channel import StaticChannel
-from repro.core import AirCompConfig, AirFedGAConfig
-from repro.data import partition_iid
 from repro.fl import FLExperiment
 from repro.fl.base import BaseTrainer
 from repro.nn import LogisticRegressionMLP

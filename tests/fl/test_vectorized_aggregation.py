@@ -13,7 +13,6 @@ import pytest
 
 from repro.channel import (
     AirCompWorkspace,
-    StaticChannel,
     aircomp_aggregate,
     aircomp_aggregate_reference,
     ideal_group_average,
@@ -183,9 +182,11 @@ class TestTrainerAggregation:
                 engine="vectorised-please",
             )
 
-    def test_batched_engine_rejected_for_cnn(
+    def test_batched_engine_accepted_for_cnn(
         self, small_image_dataset, latency_table, static_channel
     ):
+        """Conv2D/MaxPool2D have batched kernels, so engine='batched' no
+        longer rejects CNN models."""
         partition = partition_label_skew(
             small_image_dataset, num_workers=latency_table.num_workers, seed=7
         )
@@ -193,6 +194,45 @@ class TestTrainerAggregation:
             dataset=small_image_dataset,
             partition=partition,
             model_factory=lambda: MnistCNN(image_size=8, scale=0.1, seed=3),
+            latency=latency_table,
+            channel=static_channel,
+            engine="batched",
+        )
+        trainer = BaseTrainer(exp)
+        assert trainer._engine is not None
+
+    def test_batched_engine_rejected_for_unsupported_layer(
+        self, small_image_dataset, latency_table, static_channel
+    ):
+        from repro.nn import SequentialModel
+        from repro.nn.layers import Dense, Layer
+
+        class _Exotic(Layer):
+            def forward(self, x, training=True):
+                return x
+
+            def backward(self, grad_out):
+                return grad_out
+
+        def factory():
+            flat = int(np.prod(small_image_dataset.x_train.shape[1:]))
+            from repro.nn.layers import Flatten
+
+            return SequentialModel(
+                [
+                    Flatten("flatten"),
+                    _Exotic("exotic"),
+                    Dense("fc", flat, 10, np.random.default_rng(0)),
+                ]
+            )
+
+        partition = partition_label_skew(
+            small_image_dataset, num_workers=latency_table.num_workers, seed=7
+        )
+        exp = FLExperiment(
+            dataset=small_image_dataset,
+            partition=partition,
+            model_factory=factory,
             latency=latency_table,
             channel=static_channel,
             engine="batched",

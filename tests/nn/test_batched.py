@@ -14,12 +14,13 @@ import pytest
 from repro.nn import (
     BatchedWorkerEngine,
     LogisticRegressionMLP,
+    MiniVGG,
     MnistCNN,
     SGD,
     batched_layer_supported,
     parameter_dtype,
 )
-from repro.nn.layers import Conv2D, Dense, Flatten, ReLU
+from repro.nn.layers import Conv2D, Dense, Dropout, Flatten, MaxPool2D, ReLU
 
 TOL = 1e-9
 
@@ -59,19 +60,60 @@ def make_group(rng, num_workers, features=16, classes=5, min_n=5, max_n=40):
     return ids, data
 
 
+def make_image_group(
+    rng, num_workers, shape=(1, 8, 8), classes=10, min_n=5, max_n=30, uniform_n=None
+):
+    ids, data = [], []
+    for k in range(num_workers):
+        n = uniform_n if uniform_n is not None else int(rng.integers(min_n, max_n))
+        data.append(
+            (rng.standard_normal((n,) + shape), rng.integers(0, classes, n))
+        )
+        ids.append(k)
+    return ids, data
+
+
+def run_both_paths(model, ids, data, *, seed=11, round_index=3, lr=0.2, steps=3, batch=16):
+    """Scalar-reference stack and batched run_group output for one group."""
+    base = model.get_vector()
+    ref = np.stack(
+        [
+            scalar_reference(
+                model, w, x, y, base,
+                seed=seed, round_index=round_index, lr=lr, steps=steps, batch=batch,
+            )
+            for w, (x, y) in zip(ids, data)
+        ]
+    )
+    engine = BatchedWorkerEngine.try_build(model)
+    assert engine is not None
+    out = np.empty_like(ref)
+    engine.run_group(
+        ids, data, base, round_index,
+        learning_rate=lr, local_steps=steps, batch_size=batch, seed=seed, out=out,
+    )
+    return ref, out
+
+
 class TestEngineConstruction:
     def test_supported_for_mlp(self, mlp):
         assert BatchedWorkerEngine.try_build(mlp) is not None
 
-    def test_cnn_falls_back(self):
-        assert BatchedWorkerEngine.try_build(MnistCNN(image_size=8, scale=0.1)) is None
+    def test_supported_for_cnn(self):
+        assert BatchedWorkerEngine.try_build(MnistCNN(image_size=8, scale=0.1)) is not None
+
+    def test_supported_for_mini_vgg(self):
+        model = MiniVGG(image_size=8, blocks=2, base_channels=4, hidden=16, num_classes=5)
+        assert BatchedWorkerEngine.try_build(model) is not None
 
     def test_layer_support_predicate(self):
         rng = np.random.default_rng(0)
         assert batched_layer_supported(Dense("d", 4, 4, rng))
         assert batched_layer_supported(ReLU("r"))
         assert batched_layer_supported(Flatten("f"))
-        assert not batched_layer_supported(Conv2D("c", 1, 2, 3, rng))
+        assert batched_layer_supported(Conv2D("c", 1, 2, 3, rng))
+        assert batched_layer_supported(MaxPool2D("p", 2))
+        assert batched_layer_supported(Dropout("do", 0.5, rng))
 
 
 class TestEquivalence:
@@ -164,6 +206,72 @@ class TestEquivalence:
                 learning_rate=0.1, local_steps=1, batch_size=8, seed=0,
                 out=np.empty((2, mlp.dimension)),
             )
+
+
+class TestConvEquivalence:
+    """Batched Conv2D/MaxPool2D kernels against the scalar CNN path."""
+
+    def test_cnn_uniform_batches_bit_exact(self):
+        model = MnistCNN(image_size=8, scale=0.15, seed=0)
+        rng = np.random.default_rng(0)
+        ids, data = make_image_group(rng, 5, uniform_n=24)
+        ref, out = run_both_paths(model, ids, data)
+        np.testing.assert_array_equal(out, ref)
+
+    def test_cnn_ragged_batches_within_tol(self):
+        model = MnistCNN(image_size=8, scale=0.15, seed=0)
+        rng = np.random.default_rng(1)
+        ids, data = make_image_group(rng, 6)
+        ref, out = run_both_paths(model, ids, data)
+        assert np.abs(out - ref).max() <= TOL
+
+    def test_mini_vgg_uniform_batches_bit_exact(self):
+        model = MiniVGG(
+            image_size=8, blocks=2, base_channels=4, hidden=16, num_classes=7, seed=1
+        )
+        rng = np.random.default_rng(2)
+        ids, data = make_image_group(rng, 4, shape=(3, 8, 8), classes=7, uniform_n=20)
+        ref, out = run_both_paths(model, ids, data)
+        np.testing.assert_array_equal(out, ref)
+
+    def test_large_group_tiled_matches_scalar(self):
+        """Groups above the conv tile size split internally; results are
+        identical because each member's per-slice operations do not depend
+        on how the group is partitioned."""
+        model = MnistCNN(image_size=8, scale=0.1, seed=3)
+        rng = np.random.default_rng(3)
+        ids, data = make_image_group(rng, 30, uniform_n=16)
+        # One worker without data inside a tile keeps the base vector.
+        data[17] = (np.zeros((0, 1, 8, 8)), np.zeros(0, dtype=np.int64))
+        base = model.get_vector()
+        ref, out = run_both_paths(model, ids, data, steps=2)
+        np.testing.assert_array_equal(out, ref)
+        np.testing.assert_array_equal(out[17], base)
+        assert not np.array_equal(out[0], base)
+
+    def test_cnn_multiple_rounds_match_scalar(self):
+        model = MnistCNN(image_size=8, scale=0.1, seed=4)
+        rng = np.random.default_rng(4)
+        ids, data = make_image_group(rng, 3, uniform_n=12)
+        engine = BatchedWorkerEngine.try_build(model)
+        base = model.get_vector()
+        out = np.empty((3, model.dimension))
+        for round_index in (1, 2, 3):
+            ref = np.stack(
+                [
+                    scalar_reference(
+                        model, w, x, y, base,
+                        seed=5, round_index=round_index, lr=0.1, steps=2, batch=8,
+                    )
+                    for w, (x, y) in zip(ids, data)
+                ]
+            )
+            engine.run_group(
+                ids, data, base, round_index,
+                learning_rate=0.1, local_steps=2, batch_size=8, seed=5, out=out,
+            )
+            np.testing.assert_array_equal(out, ref)
+            base = ref.mean(axis=0)
 
 
 class TestFloat32Mode:

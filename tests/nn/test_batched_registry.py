@@ -1,0 +1,316 @@
+"""Kernel-registry tests for the batched execution engine.
+
+Every registered layer kernel is exercised standalone: a minimal model
+containing the layer is trained one local update on both the scalar path
+and the batched engine, and the resulting parameter vectors must match
+bit for bit (uniform per-worker batch sizes, float64).  Unknown layers
+must keep the graceful ``try_build`` fallback, and third-party kernels
+registered through :func:`repro.nn.register_batched_kernel` must compose
+with the built-ins.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BatchedWorkerEngine,
+    SGD,
+    SequentialModel,
+    batched_layer_supported,
+    register_batched_kernel,
+)
+from repro.nn.layers import (
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    Layer,
+    MaxPool2D,
+    ReLU,
+)
+
+
+def scalar_reference(model, worker_id, x, y, base, *, seed, round_index, lr, steps, batch):
+    """The exact per-worker update of BaseTrainer.local_update."""
+    model.set_vector(base)
+    opt = SGD(model.parameters, lr=lr)
+    rng = np.random.default_rng(
+        np.random.SeedSequence([seed, worker_id, round_index, 0x10CA1])
+    )
+    n = x.shape[0]
+    b = min(batch, n)
+    for _ in range(steps):
+        idx = rng.choice(n, size=b, replace=False)
+        opt.zero_grad()
+        model.loss_and_grad(x[idx], y[idx])
+        opt.step()
+    return model.get_vector()
+
+
+# ----------------------------------------------------------------------
+# One minimal model per supported layer type.  Each entry maps the layer
+# name to (model factory, per-sample feature shape, number of classes).
+# Factories are deterministic so two builds produce identical models —
+# required for Dropout, whose kernel consumes the layer's own generator.
+# ----------------------------------------------------------------------
+def _dense_model():
+    return SequentialModel([Dense("fc", 12, 5, np.random.default_rng(0))])
+
+
+def _relu_model():
+    rng = np.random.default_rng(1)
+    return SequentialModel(
+        [Dense("fc1", 12, 9, rng), ReLU("relu"), Dense("fc2", 9, 5, rng)]
+    )
+
+
+def _flatten_model():
+    return SequentialModel(
+        [Flatten("flatten"), Dense("fc", 2 * 4 * 4, 5, np.random.default_rng(2))]
+    )
+
+
+def _conv2d_model():
+    rng = np.random.default_rng(3)
+    return SequentialModel(
+        [
+            Conv2D("conv", 2, 4, 3, rng, padding=1),
+            Flatten("flatten"),
+            Dense("fc", 4 * 4 * 4, 5, rng),
+        ]
+    )
+
+
+def _conv2d_unpadded_strided_model():
+    # Two stacked convolutions so the second one (stride 2, no padding)
+    # exercises the generic col2im input-gradient path — a model's first
+    # parametric layer skips input gradients entirely.
+    rng = np.random.default_rng(4)
+    return SequentialModel(
+        [
+            Conv2D("conv1", 2, 3, 3, rng, padding=1),
+            ReLU("relu"),
+            Conv2D("conv2", 3, 3, 2, rng, stride=2, padding=0),
+            Flatten("flatten"),
+            Dense("fc", 3 * 2 * 2, 5, rng),
+        ]
+    )
+
+
+def _maxpool_model():
+    return SequentialModel(
+        [
+            MaxPool2D("pool", 2),
+            Flatten("flatten"),
+            Dense("fc", 2 * 2 * 2, 5, np.random.default_rng(5)),
+        ]
+    )
+
+
+def _dropout_model():
+    rng = np.random.default_rng(6)
+    drop_rng = np.random.default_rng(0xD0)
+    return SequentialModel(
+        [
+            Flatten("flatten"),
+            Dense("fc1", 2 * 4 * 4, 10, rng),
+            ReLU("relu"),
+            Dropout("drop", 0.4, drop_rng),
+            Dense("fc2", 10, 5, rng),
+        ]
+    )
+
+
+def _two_dropout_model():
+    # Two Dropout layers with their own generators: each layer's stream is
+    # replayed independently, which matches the scalar order exactly.
+    rng = np.random.default_rng(7)
+    return SequentialModel(
+        [
+            Flatten("flatten"),
+            Dense("fc1", 2 * 4 * 4, 12, rng),
+            Dropout("drop1", 0.25, np.random.default_rng(0xD1)),
+            ReLU("relu"),
+            Dense("fc2", 12, 8, rng),
+            Dropout("drop2", 0.5, np.random.default_rng(0xD2)),
+            Dense("fc3", 8, 5, rng),
+        ]
+    )
+
+
+LAYER_MODELS = {
+    "dense": (_dense_model, (12,), 5),
+    "dropout_two_layers": (_two_dropout_model, (2, 4, 4), 5),
+    "relu": (_relu_model, (12,), 5),
+    "flatten": (_flatten_model, (2, 4, 4), 5),
+    "conv2d": (_conv2d_model, (2, 4, 4), 5),
+    "conv2d_unpadded_strided": (_conv2d_unpadded_strided_model, (2, 4, 4), 5),
+    "maxpool2d": (_maxpool_model, (2, 4, 4), 5),
+    "dropout": (_dropout_model, (2, 4, 4), 5),
+}
+
+
+@pytest.mark.parametrize("name", sorted(LAYER_MODELS))
+def test_standalone_layer_forward_backward_step_bit_exact(name):
+    """Each supported layer's batched forward/backward/SGD-step sequence
+    reproduces the scalar path bit for bit (uniform batches, float64)."""
+    factory, feat, classes = LAYER_MODELS[name]
+    rng = np.random.default_rng(42)
+    ids, data = [], []
+    for k in range(4):
+        data.append(
+            (rng.standard_normal((18,) + feat), rng.integers(0, classes, 18))
+        )
+        ids.append(k)
+    ref_model = factory()
+    bat_model = factory()
+    base = ref_model.get_vector()
+    np.testing.assert_array_equal(base, bat_model.get_vector())
+    ref = np.stack(
+        [
+            scalar_reference(
+                ref_model, w, x, y, base,
+                seed=9, round_index=2, lr=0.15, steps=3, batch=8,
+            )
+            for w, (x, y) in zip(ids, data)
+        ]
+    )
+    engine = BatchedWorkerEngine.try_build(bat_model)
+    assert engine is not None, f"no batched kernel for {name}"
+    out = np.empty_like(ref)
+    engine.run_group(
+        ids, data, base, 2,
+        learning_rate=0.15, local_steps=3, batch_size=8, seed=9, out=out,
+    )
+    np.testing.assert_array_equal(out, ref)
+
+
+# ----------------------------------------------------------------------
+# Fallback and registration behaviour
+# ----------------------------------------------------------------------
+class _UnknownActivation(Layer):
+    """A layer type the registry has never seen."""
+
+    def forward(self, x, training=True):
+        return x
+
+    def backward(self, grad_out):
+        return grad_out
+
+
+class TestFallback:
+    def test_unknown_layer_not_supported(self):
+        assert not batched_layer_supported(_UnknownActivation("mystery"))
+
+    def test_try_build_returns_none_for_unknown_layer(self):
+        model = SequentialModel(
+            [_UnknownActivation("mystery"), Dense("fc", 8, 3, np.random.default_rng(0))]
+        )
+        assert BatchedWorkerEngine.try_build(model) is None
+
+    def test_direct_construction_raises_for_unknown_layer(self):
+        model = SequentialModel(
+            [_UnknownActivation("mystery"), Dense("fc", 8, 3, np.random.default_rng(0))]
+        )
+        with pytest.raises(ValueError, match="no batched kernel"):
+            BatchedWorkerEngine(model)
+
+    def test_subclass_inherits_kernel_via_mro(self):
+        class _StillReLU(ReLU):
+            pass
+
+        assert batched_layer_supported(_StillReLU("relu"))
+
+    def test_shared_dropout_rng_falls_back_to_scalar(self):
+        """Two Dropout layers sharing one generator cannot be replayed
+        layer-by-layer in the scalar stream order, so try_build refuses."""
+        rng = np.random.default_rng(0)
+        shared = np.random.default_rng(1)
+        model = SequentialModel(
+            [
+                Dense("fc1", 8, 8, rng),
+                Dropout("d1", 0.3, shared),
+                Dense("fc2", 8, 4, rng),
+                Dropout("d2", 0.3, shared),
+                Dense("fc3", 4, 3, rng),
+            ]
+        )
+        assert BatchedWorkerEngine.try_build(model) is None
+        with pytest.raises(ValueError, match="share one random generator"):
+            BatchedWorkerEngine(model)
+
+    def test_distinct_dropout_rngs_supported(self):
+        rng = np.random.default_rng(0)
+        model = SequentialModel(
+            [
+                Dense("fc1", 8, 8, rng),
+                Dropout("d1", 0.3, np.random.default_rng(1)),
+                Dense("fc2", 8, 4, rng),
+                Dropout("d2", 0.3, np.random.default_rng(2)),
+                Dense("fc3", 4, 3, rng),
+            ]
+        )
+        assert BatchedWorkerEngine.try_build(model) is not None
+
+
+class TestRegistration:
+    def test_registered_kernel_composes_with_builtins(self):
+        class _Identity(Layer):
+            def forward(self, x, training=True):
+                return x
+
+            def backward(self, grad_out):
+                return grad_out
+
+        @register_batched_kernel(_Identity)
+        class _BatchedIdentity:
+            param_size = 0
+
+            def __init__(self, layer, offset):
+                pass
+
+            def forward(self, x):
+                return x
+
+            def backward(self, grad_out):
+                return grad_out
+
+        from repro.nn.batched import _KERNEL_REGISTRY
+
+        try:
+            assert batched_layer_supported(_Identity("id"))
+
+            def factory():
+                return SequentialModel(
+                    [_Identity("id"), Dense("fc", 6, 4, np.random.default_rng(1))]
+                )
+
+            model = factory()
+            engine = BatchedWorkerEngine.try_build(model)
+            assert engine is not None
+            rng = np.random.default_rng(3)
+            ids = [0, 1]
+            data = [
+                (rng.standard_normal((10, 6)), rng.integers(0, 4, 10))
+                for _ in ids
+            ]
+            base = model.get_vector()
+            ref = np.stack(
+                [
+                    scalar_reference(
+                        model, w, x, y, base,
+                        seed=1, round_index=1, lr=0.1, steps=2, batch=4,
+                    )
+                    for w, (x, y) in zip(ids, data)
+                ]
+            )
+            out = np.empty_like(ref)
+            engine.run_group(
+                ids, data, base, 1,
+                learning_rate=0.1, local_steps=2, batch_size=4, seed=1, out=out,
+            )
+            np.testing.assert_array_equal(out, ref)
+        finally:
+            _KERNEL_REGISTRY.pop(_Identity, None)

@@ -275,6 +275,34 @@ class TestMaxPool2D:
         with pytest.raises(ValueError):
             layer.forward(np.zeros((1, 1, 5, 5)))
 
+    @pytest.mark.parametrize(
+        "pool_size, h, w",
+        [(2, 5, 4), (2, 4, 5), (2, 7, 7), (3, 4, 6), (3, 6, 4), (4, 6, 6)],
+    )
+    def test_shape_validation_names_offending_shape(self, pool_size, h, w):
+        """The divisibility constraint (see the class docstring) fails fast
+        with an error naming the spatial size and pool size, instead of an
+        opaque reshape error mid-training."""
+        import re
+
+        layer = MaxPool2D("pool", pool_size)
+        with pytest.raises(
+            ValueError, match=re.escape(str((h, w))) + f".*pool size {pool_size}"
+        ):
+            layer.forward(np.zeros((2, 3, h, w)))
+
+    @pytest.mark.parametrize("pool_size, h, w", [(2, 4, 4), (2, 6, 8), (3, 6, 9)])
+    def test_shape_validation_accepts_divisible(self, pool_size, h, w):
+        out = MaxPool2D("pool", pool_size).forward(np.zeros((2, 3, h, w)))
+        assert out.shape == (2, 3, h // pool_size, w // pool_size)
+
+    def test_batched_kernel_validates_shape_identically(self):
+        from repro.nn.batched import _BatchedMaxPool2D
+
+        kernel = _BatchedMaxPool2D(MaxPool2D("pool", 2), 0)
+        with pytest.raises(ValueError, match=r"\(5, 4\).*pool size 2"):
+            kernel.forward(np.zeros((1, 2, 3, 5, 4)))
+
     def test_invalid_pool_size(self):
         with pytest.raises(ValueError):
             MaxPool2D("p", 0)

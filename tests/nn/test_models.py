@@ -127,7 +127,9 @@ class TestMiniVGG:
     def test_deeper_has_more_conv_layers(self):
         shallow = MiniVGG(image_size=16, blocks=2, base_channels=2, hidden=8, seed=0)
         deep = MiniVGG(image_size=16, blocks=3, base_channels=2, hidden=8, seed=0)
-        conv_names = lambda m: [n for n in m.parameters.names() if "conv" in n]
+        def conv_names(m):
+            return [n for n in m.parameters.names() if "conv" in n]
+
         assert len(conv_names(deep)) > len(conv_names(shallow))
 
 

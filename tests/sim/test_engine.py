@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.sim import Event, EventType, SimulationEngine, SimulationError
+from repro.sim import EventType, SimulationEngine, SimulationError
 
 
 class TestScheduling:
