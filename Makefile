@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-fast test-ci lint bench bench-quick ci
+.PHONY: test test-fast test-ci lint bench bench-quick docs-check ci
 
 test:            ## full tier-1 suite (tests/ + benchmarks/)
 	$(PYTHON) -m pytest -x -q
@@ -21,4 +21,7 @@ bench:           ## perf suite (scalar reference vs vectorized engine), appends 
 bench-quick:     ## smaller/faster perf smoke run (the CI bench-smoke job); writes BENCH_smoke.json (gitignored) so the committed BENCH_perf_v1.json trajectory stays curated
 	$(PYTHON) -m repro.experiments bench --label smoke --quick
 
-ci: lint test-ci bench-quick  ## reproduce the full CI pipeline locally
+docs-check:      ## link-check docs/*.md + README and run doctest on their fenced examples (the CI docs job)
+	$(PYTHON) tools/check_docs.py
+
+ci: lint test-ci bench-quick docs-check  ## reproduce the full CI pipeline locally

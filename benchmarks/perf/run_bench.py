@@ -9,14 +9,18 @@ with the other benchmarks.  Usage::
 Equivalent entry points: ``make bench`` and
 ``python -m repro.experiments bench``.
 
-Tiers (each timed on the seed-equivalent ``engine="scalar"`` path and the
-vectorized ``engine="auto"`` path):
+Tiers 1-4 time the seed-equivalent ``engine="scalar"`` path against the
+vectorized ``engine="auto"`` path; tier 5 times the vectorized path
+against itself with the multiprocess group executor on top:
 
 1. one Air-FedGA grouped round at 10/50/200 workers (MLP workload),
 2. the same grouped round on the fig4 CNN workload (batched Conv2D/
    MaxPool2D kernels),
 3. a fig4-style CNN-MNIST mini-run,
-4. ``aircomp_aggregate`` / ``ideal_group_average`` microbenchmarks.
+4. ``aircomp_aggregate`` / ``ideal_group_average`` microbenchmarks,
+5. serial batched engine vs. ``ProcessGroupExecutor`` worker-process
+   pool (``grouped_round_mp``; spawns process pools and records
+   ``cpu_count`` alongside the speedup).
 """
 
 from __future__ import annotations

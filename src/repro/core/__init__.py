@@ -5,6 +5,7 @@ from .config import (
     AirFedGAConfig,
     ConvergenceConfig,
     GroupingConfig,
+    ParallelismConfig,
 )
 from .timing import (
     GroupTiming,
@@ -45,6 +46,7 @@ __all__ = [
     "AirCompConfig",
     "GroupingConfig",
     "ConvergenceConfig",
+    "ParallelismConfig",
     "AirFedGAConfig",
     "GroupTiming",
     "group_completion_time",

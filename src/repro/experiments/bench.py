@@ -1,10 +1,12 @@
 """Performance benchmark harness for the vectorized training/aggregation engine.
 
-Four tiers, each timing the *same* simulation twice — once on the seed's
-sequential reference path (``engine="scalar"``: per-worker Python loops,
-per-member aggregation accumulation, no power-control cache) and once on the
-vectorized path (``engine="auto"``: group-batched matmuls, allocation-free
-``α @ A`` aggregation, memoized power control):
+Five tiers.  The first four time the *same* simulation twice — once on the
+seed's sequential reference path (``engine="scalar"``: per-worker Python
+loops, per-member aggregation accumulation, no power-control cache) and
+once on the vectorized path (``engine="auto"``: group-batched matmuls,
+allocation-free ``α @ A`` aggregation, memoized power control); the fifth
+compares the vectorized path against itself with multiprocess group
+execution on top:
 
 1. **grouped_round** — one Air-FedGA grouped round on the MLP workload at
    10/50/200 workers (the Fig. 10 scalability axis);
@@ -15,7 +17,14 @@ vectorized path (``engine="auto"``: group-batched matmuls, allocation-free
    (local training, aggregation, power control and evaluation cadence);
 4. **aggregation_micro** — channel-level microbenchmarks of
    ``aircomp_aggregate`` and ``ideal_group_average`` against their
-   reference loops at paper-scale model dimensions.
+   reference loops at paper-scale model dimensions;
+5. **grouped_round_mp** — the single-process batched engine against the
+   :class:`~repro.parallel.ProcessGroupExecutor` (worker-process pool +
+   shared-memory arenas, ``config.parallelism``).  Records are annotated
+   with ``cpu_count``: multiprocess speedup is only meaningful on a
+   multi-core host, and the tier *refuses* to run a configuration that
+   silently resolved to serial execution (see
+   :func:`bench_grouped_round_mp`).
 
 Results are appended to ``BENCH_<label>.json`` so successive PRs build a
 benchmark trajectory.  Run via ``make bench``,
@@ -25,6 +34,7 @@ benchmark trajectory.  Run via ``make bench``,
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
@@ -38,7 +48,7 @@ from ..channel.aircomp import (
     ideal_group_average,
     ideal_group_average_reference,
 )
-from ..core.config import AirFedGAConfig, GroupingConfig
+from ..core.config import AirFedGAConfig, GroupingConfig, ParallelismConfig
 from ..fl.registry import build_trainer
 from .configs import cnn_mnist_config, lr_mnist_config
 from .runner import build_experiment
@@ -46,6 +56,7 @@ from .runner import build_experiment
 __all__ = [
     "bench_grouped_round",
     "bench_grouped_round_cnn",
+    "bench_grouped_round_mp",
     "bench_cnn_mnist_mini",
     "bench_aggregation_micro",
     "run_bench_suite",
@@ -158,6 +169,121 @@ def bench_grouped_round_cnn(
     return _time_grouped_rounds(make_config, num_workers, rounds_per_group, repeats)
 
 
+def bench_grouped_round_mp(
+    num_workers: int,
+    rounds_per_group: int = 3,
+    repeats: int = 3,
+    num_processes: Optional[int] = None,
+    parallelism: str = "processes",
+) -> Dict[str, object]:
+    """Time Air-FedGA grouped rounds: serial batched engine vs process pool.
+
+    Both variants run ``engine="auto"`` on the MLP grouped-round scenario
+    of :func:`bench_grouped_round`; the ``mp`` variant additionally sets
+    ``config.parallelism`` to a :class:`ProcessGroupExecutor` pool of
+    ``num_processes`` workers (default: ``os.cpu_count()``).  Serial and
+    multiprocess results are bit-identical in float64, so the measured
+    delta is pure execution overhead/parallelism.
+
+    The tier refuses to mislabel a serial run as multiprocess: requesting
+    ``parallelism="none"`` raises :class:`ValueError`, and a configuration
+    that silently falls back to serial (no batched engine, unsupported
+    model, pool failure) raises :class:`RuntimeError` instead of timing
+    the serial path under the ``mp`` label.
+    """
+    if parallelism != "processes":
+        raise ValueError(
+            "bench_grouped_round_mp times the multiprocess executor; "
+            f"parallelism={parallelism!r} would silently measure the serial "
+            "path under the 'mp' label — use bench_grouped_round for serial "
+            "engine comparisons"
+        )
+    procs = int(num_processes or os.cpu_count() or 1)
+
+    def make_config(mode: str):
+        par = (
+            ParallelismConfig(
+                mode="processes", num_processes=procs, min_group_size=2
+            )
+            if mode == "mp"
+            else ParallelismConfig(mode="none")
+        )
+        return lr_mnist_config(
+            num_workers=num_workers,
+            num_train=20 * num_workers,
+            image_size=8,
+            hidden=32,
+            max_rounds=10_000,
+        ).scaled(
+            local_steps=5,
+            batch_size=32,
+            partition_strategy="iid",
+            eval_every=1_000_000,
+            max_eval_samples=32,
+            engine="auto",
+            config=AirFedGAConfig(
+                grouping=GroupingConfig(xi=1.0), parallelism=par
+            ),
+        )
+
+    timings = {"serial": float("inf"), "mp": float("inf")}
+    num_groups = 0
+    total_rounds = 0
+    for _ in range(repeats):
+        for mode in ("serial", "mp"):
+            experiment = build_experiment(make_config(mode))
+            with build_trainer("air_fedga", experiment) as trainer:
+                # Untimed warm-up: bind the engine's stacked buffers and —
+                # on the mp side — force the lazy ProcessPoolExecutor to
+                # actually spawn its workers, build their engines and
+                # attach the shared-memory arenas (a pool only starts on
+                # its first submit, so constructing the executor is not
+                # enough).  The warm-up dispatch writes only into the
+                # group-stack/arena buffers; trainer state is untouched.
+                trainer.local_update_group(
+                    trainer.groups[0], trainer.global_vector, 1
+                )
+                if mode == "mp" and not (
+                    trainer.parallelism_active
+                    and trainer._executor.dispatches > 0
+                ):
+                    # Refuse to record a run whose parallelism silently
+                    # resolved to "none" (unsupported model, pool failure,
+                    # min_group_size gating every group).
+                    raise RuntimeError(
+                        "grouped_round_mp requested multiprocess execution "
+                        "but the trainer resolved to the serial path "
+                        f"({trainer._executor_error or 'pool unavailable'}); "
+                        "refusing to record a mislabeled trajectory"
+                    )
+                num_groups = len(trainer.groups)
+                total_rounds = max(8, num_groups * rounds_per_group)
+                start = time.perf_counter()
+                trainer.run(max_rounds=total_rounds)
+                timings[mode] = min(timings[mode], time.perf_counter() - start)
+                if mode == "mp" and trainer._executor.fallbacks > 0:
+                    # A pool that broke mid-run and exhausted its restart
+                    # budget executed some rounds in-process; that timing
+                    # is not a multiprocess measurement.
+                    raise RuntimeError(
+                        f"grouped_round_mp pool fell back to in-process "
+                        f"execution {trainer._executor.fallbacks} time(s) "
+                        "during the timed run; refusing to record a "
+                        "mislabeled trajectory"
+                    )
+    per_round = {k: v / total_rounds for k, v in timings.items()}
+    return {
+        "num_workers": num_workers,
+        "num_groups": num_groups,
+        "rounds_timed": total_rounds,
+        "num_processes": procs,
+        "cpu_count": os.cpu_count(),
+        "serial_s_per_round": per_round["serial"],
+        "mp_s_per_round": per_round["mp"],
+        "speedup": per_round["serial"] / per_round["mp"],
+    }
+
+
 def bench_cnn_mnist_mini(max_rounds: int = 12) -> Dict[str, object]:
     """Time a fig4-style CNN-MNIST mini-run end to end.
 
@@ -233,9 +359,11 @@ def bench_aggregation_micro(
 
 # ----------------------------------------------------------------------
 def run_bench_suite(
-    quick: bool = False, worker_counts: Sequence[int] = (10, 50, 200)
+    quick: bool = False,
+    worker_counts: Sequence[int] = (10, 50, 200),
+    num_processes: Optional[int] = None,
 ) -> Dict[str, object]:
-    """Run all four tiers and return one results record."""
+    """Run all five tiers and return one results record."""
     if quick:
         worker_counts = tuple(w for w in worker_counts if w <= 50) or (10,)
     rounds_per_group = 1 if quick else 3
@@ -248,6 +376,15 @@ def run_bench_suite(
         bench_grouped_round_cnn(w, rounds_per_group=rounds_per_group, repeats=repeats)
         for w in worker_counts
     ]
+    grouped_mp = [
+        bench_grouped_round_mp(
+            w,
+            rounds_per_group=rounds_per_group,
+            repeats=repeats,
+            num_processes=num_processes,
+        )
+        for w in worker_counts
+    ]
     cnn = bench_cnn_mnist_mini(max_rounds=4 if quick else 12)
     micro = bench_aggregation_micro(
         dim=50_000 if quick else 200_000, repeats=3 if quick else 5
@@ -257,6 +394,7 @@ def run_bench_suite(
         "quick": quick,
         "grouped_round": grouped,
         "grouped_round_cnn": grouped_cnn,
+        "grouped_round_mp": grouped_mp,
         "cnn_mnist_mini": cnn,
         "aggregation_micro": micro,
     }
@@ -292,6 +430,15 @@ def format_bench_summary(record: Dict[str, object]) -> str:
                 f"{row['batched_s_per_round'] * 1e3:8.1f} ms  "
                 f"({row['speedup']:.2f}x)"
             )
+    for row in record.get("grouped_round_mp", []):
+        lines.append(
+            f"  grouped round (MLP, serial vs {row['num_processes']}-process pool "
+            f"on {row['cpu_count']} cores), {row['num_workers']:4d} workers "
+            f"({row['num_groups']} groups): "
+            f"{row['serial_s_per_round'] * 1e3:8.1f} ms -> "
+            f"{row['mp_s_per_round'] * 1e3:8.1f} ms  "
+            f"({row['speedup']:.2f}x)"
+        )
     cnn = record["cnn_mnist_mini"]
     lines.append(
         f"  CNN-MNIST mini-run ({cnn['max_rounds']} rounds): "
@@ -324,8 +471,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--workers", type=int, nargs="+", default=[10, 50, 200],
         help="worker counts for the grouped-round tier",
     )
+    parser.add_argument(
+        "--processes", type=int, default=None,
+        help="pool size for the grouped_round_mp tier (default: cpu count)",
+    )
     args = parser.parse_args(argv)
-    record = run_bench_suite(quick=args.quick, worker_counts=tuple(args.workers))
+    record = run_bench_suite(
+        quick=args.quick,
+        worker_counts=tuple(args.workers),
+        num_processes=args.processes,
+    )
     path = write_bench_results(record, label=args.label, output_dir=args.output_dir)
     print(format_bench_summary(record))
     print(f"appended results to {path}")

@@ -1,4 +1,23 @@
-"""Federated-learning mechanisms: the Air-FedGA trainer and its baselines."""
+"""Federated-learning mechanisms: the Air-FedGA trainer and its baselines.
+
+Public entry points (documented in ``docs/API.md``):
+
+* :func:`build_trainer` / :data:`MECHANISMS` — construct a mechanism by
+  registry name: ``"fedavg"``, ``"tifl"``, ``"air_fedavg"``,
+  ``"dynamic"`` or ``"air_fedga"`` (the paper's figure labels);
+* :class:`FLExperiment` — the experiment bundle every trainer consumes
+  (dataset, partition, model factory, latency table, channel, config);
+  its ``engine`` field selects the local-training execution path
+  (``"auto"``/``"batched"``/``"scalar"``) and
+  ``config.parallelism`` upgrades group rounds to a worker-process pool
+  (:mod:`repro.parallel`);
+* :class:`BaseTrainer` — shared machinery (local updates, AirComp and
+  OMA aggregation, evaluation, energy accounting).  Trainers are context
+  managers: ``with build_trainer(...) as t: t.run(...)`` releases any
+  multiprocess resources deterministically;
+* :class:`TrainingHistory` / :class:`RoundRecord` — the per-round
+  trajectory every ``run()`` returns.
+"""
 
 from .base import BaseTrainer, FLExperiment
 from .history import RoundRecord, TrainingHistory

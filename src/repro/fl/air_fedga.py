@@ -13,6 +13,13 @@ This trainer wires together the three contributions:
 * **grouping-asynchronous updates** (Algorithm 1) — the event loop of
   :class:`~repro.fl.grouped.GroupedAsyncTrainer` driven by the
   READY/EXECUTE protocol state machine.
+
+Because groups are independent between global commits, each group's
+intra-group training round can be executed on a worker-process pool
+(``AirFedGAConfig.parallelism``, see :mod:`repro.parallel`) without
+changing any simulated quantity — the trainer produces bit-identical
+float64 histories whether a round trains serially or sharded across
+processes.
 """
 
 from __future__ import annotations

@@ -9,6 +9,17 @@ models are aggregated (reliable OMA vs. noisy over-the-air).  This module
 implements the common schedule as a virtual-time event loop on top of the
 :class:`~repro.core.mechanism.GroupAsyncScheduler` protocol state machine;
 the two mechanisms specialize the two hooks.
+
+Execution engines are orthogonal to the schedule: each group's
+local-training phase runs on the scalar per-worker path, the in-process
+batched engine, or — with ``config.parallelism.mode == "processes"`` — a
+worker-process pool (:class:`~repro.parallel.ProcessGroupExecutor`) that
+shards the group across CPU cores through shared-memory buffers.  The
+virtual-time event loop itself stays single-threaded and deterministic:
+aggregation, power control and the channel-noise RNG always run in the
+parent process, in event order, so the produced
+:class:`~repro.fl.history.TrainingHistory` is identical across engines
+(bit-identical in float64 between serial and multiprocess execution).
 """
 
 from __future__ import annotations
@@ -99,6 +110,14 @@ class GroupedAsyncTrainer(BaseTrainer):
     def run(
         self, max_rounds: int = 100, max_time: Optional[float] = None
     ) -> TrainingHistory:
+        # Construct the multiprocess executor (if configured) before the
+        # event loop starts, so a model that cannot be sharded surfaces its
+        # RuntimeWarning here rather than mid-run.  Note the pool itself
+        # spawns its worker processes lazily on the first dispatch — the
+        # first round still pays that one-time cost (benchmarks that need
+        # it excluded perform an untimed warm-up dispatch, see
+        # repro.experiments.bench).  Serial configurations are a no-op.
+        self.parallel_executor()
         self.record_round(round_index=0, time=0.0, num_participants=0, force_eval=True)
         # Priority queue of (ready_time, group_id): the moment every member
         # of the group has finished local training and sent READY.

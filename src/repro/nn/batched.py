@@ -23,6 +23,19 @@ layer the paper's LR/CNN/MiniVGG workloads use.  Models containing other
 (custom) layers are reported as unsupported and the trainers fall back to
 the scalar per-worker path.
 
+Multiprocess support (see :mod:`repro.parallel` and ``docs/API.md``):
+:meth:`BatchedWorkerEngine.build_spec` returns a picklable
+:class:`EngineSpec` from which pool workers rebuild the engine in their
+own process; :func:`shared_stack_view` wraps externally owned memory
+(e.g. ``multiprocessing.shared_memory``) as a ``(G, q)`` output stack the
+engine writes into directly (buffer donation via ``run_group(out=...)``);
+the ``pad_to`` argument of :meth:`BatchedWorkerEngine.run_group` pins a
+shard of a ragged group to the full group's padded batch dimension so
+sharded execution reproduces the serial GEMM shapes bit for bit; and
+:func:`model_shard_safe` reports whether a model's group training may be
+split across processes at all (active Dropout may not — its mask stream
+spans the whole group).
+
 Numerical contract: for a given ``(seed, worker_id, round_index)`` the
 engine draws exactly the same mini-batch indices as the scalar path and
 performs the same sequence of per-worker matmul/elementwise operations, so
@@ -36,6 +49,7 @@ models keep the same equivalence guarantee.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
@@ -46,8 +60,11 @@ from .models import Model, SequentialModel
 __all__ = [
     "BatchedKernel",
     "BatchedWorkerEngine",
+    "EngineSpec",
     "batched_layer_supported",
+    "model_shard_safe",
     "register_batched_kernel",
+    "shared_stack_view",
 ]
 
 
@@ -138,6 +155,46 @@ def _kernel_factory(layer: object) -> Optional[Callable[[Layer, int], BatchedKer
 def batched_layer_supported(layer: object) -> bool:
     """Whether ``layer`` has a batched (leading group axis) kernel."""
     return _kernel_factory(layer) is not None
+
+
+def model_shard_safe(model: object) -> bool:
+    """Whether a group may be *sharded* across independent engine instances.
+
+    The multiprocess executor splits one group's members over several
+    worker processes, each running its own :class:`BatchedWorkerEngine`.
+    That is result-preserving for every built-in kernel except active
+    :class:`~repro.nn.layers.Dropout`: its masks are drawn worker-major
+    from one generator stream spanning the *whole* group, which a shard
+    holding only part of the group cannot replay.  Such models must train
+    in a single process (the executor refuses them and the trainer falls
+    back to the serial engine).
+    """
+    layers = getattr(model, "layers", None)
+    if layers is None:
+        return False
+    return not any(
+        isinstance(layer, Dropout) and layer.rate > 0.0 for layer in layers
+    )
+
+
+def shared_stack_view(
+    buffer, group: int, dimension: int, dtype=np.float64, offset: int = 0
+) -> np.ndarray:
+    """Wrap externally owned memory as a ``(group, dimension)`` output stack.
+
+    This is the engine's buffer-donation entry point: the returned view is
+    writable whenever ``buffer`` is (e.g. ``multiprocessing.shared_memory
+    .SharedMemory.buf``) and is accepted directly as the ``out`` argument
+    of :meth:`BatchedWorkerEngine.run_group`, so worker processes write
+    their shard's updated models straight into the shared arena — no
+    copies, no pickling.  ``offset`` is in *elements*, letting several
+    shards view disjoint row ranges of one arena.
+    """
+    dt = np.dtype(dtype)
+    arr = np.frombuffer(
+        buffer, dtype=dt, count=group * dimension, offset=offset * dt.itemsize
+    )
+    return arr.reshape(group, dimension)
 
 
 def _has_shared_dropout_rng(model: SequentialModel) -> bool:
@@ -706,6 +763,25 @@ class _BatchedDropout:
 
 
 # ----------------------------------------------------------------------
+@dataclass
+class EngineSpec:
+    """A picklable recipe for rebuilding a :class:`BatchedWorkerEngine`.
+
+    The spec carries the (validated) model object itself; models are plain
+    layer lists over NumPy arrays and generators, all of which pickle.
+    With the ``fork`` start method nothing is serialized at all — the spec
+    is inherited — and with ``spawn``/``forkserver`` it is pickled exactly
+    once at pool start-up, never per round.  Build the worker-side engine
+    with :meth:`build`.
+    """
+
+    model: SequentialModel
+
+    def build(self) -> "BatchedWorkerEngine":
+        """Construct the engine in the current (worker) process."""
+        return BatchedWorkerEngine(self.model)
+
+
 class BatchedWorkerEngine:
     """Runs the local SGD of a whole worker group as batched tensor ops.
 
@@ -778,16 +854,52 @@ class BatchedWorkerEngine:
     @classmethod
     def try_build(cls, model: Model) -> Optional["BatchedWorkerEngine"]:
         """Build an engine for ``model``, or ``None`` if any layer lacks a
-        batched kernel (the caller then uses the scalar per-worker path)."""
+        batched kernel (the caller then uses the scalar per-worker path).
+
+        Support conditions are defined once, in :meth:`build_spec`."""
+        try:
+            spec = cls.build_spec(model)
+        except ValueError:
+            return None
+        return spec.build()
+
+    @classmethod
+    def build_spec(cls, model: Model) -> EngineSpec:
+        """Validate ``model`` and return a picklable :class:`EngineSpec`.
+
+        Raises :class:`ValueError` when the model has no batched-engine
+        support (the same conditions under which :meth:`try_build` returns
+        ``None``), so callers fail fast in the parent process instead of
+        inside a pool worker.
+        """
         if not isinstance(model, SequentialModel):
-            return None
-        if not all(batched_layer_supported(layer) for layer in model.layers):
-            return None
+            raise ValueError(
+                f"batched engine requires a SequentialModel, got {type(model).__name__}"
+            )
+        unsupported = [
+            layer for layer in model.layers if not batched_layer_supported(layer)
+        ]
+        if unsupported:
+            raise ValueError(
+                f"layers without a batched kernel: {unsupported!r} "
+                "(see repro.nn.batched.register_batched_kernel)"
+            )
         if len(model.parameters) == 0:
-            return None
+            raise ValueError("model has no parameters")
         if _has_shared_dropout_rng(model):
-            return None
-        return cls(model)
+            raise ValueError(
+                "multiple Dropout layers share one random generator; "
+                "the batched engine cannot reproduce the scalar stream"
+            )
+        return EngineSpec(model=model)
+
+    @property
+    def group_tile(self) -> Optional[int]:
+        """Group sub-tile size used by convolutional models (``None`` when
+        the model runs untiled).  Shard planners must align shard
+        boundaries to this tile so sharded execution reproduces the serial
+        call tree (see :class:`repro.parallel.ProcessGroupExecutor`)."""
+        return self._tile
 
     # ------------------------------------------------------------------
     def run_group(
@@ -802,6 +914,7 @@ class BatchedWorkerEngine:
         batch_size: int,
         seed: int,
         out: np.ndarray,
+        pad_to: Optional[int] = None,
     ) -> np.ndarray:
         """Run every member's local SGD from ``base_vector``; fill ``out``.
 
@@ -810,6 +923,13 @@ class BatchedWorkerEngine:
         scalar path exactly: per-worker batch indices are drawn from
         ``SeedSequence([seed, worker_id, round_index, 0x10CA1])`` and a
         worker with no data returns the base vector unchanged.
+
+        ``pad_to`` pins the padded per-worker batch dimension (normally the
+        group's max batch size).  A *shard* of a ragged group padded to the
+        full group's batch dimension runs the exact GEMM shapes of the
+        full-group call, which is what makes multiprocess sharding
+        bit-identical to serial execution (padding rows gather the zero
+        row and contribute exact ``+0.0`` terms).
         """
         ids = list(worker_ids)
         if out.shape != (len(ids), self.dimension):
@@ -831,6 +951,7 @@ class BatchedWorkerEngine:
                     batch_size=batch_size,
                     seed=seed,
                     out=out[k0:k1],
+                    pad_to=pad_to,
                 )
             return out
         # Workers without data keep the base model; train the rest together.
@@ -853,6 +974,13 @@ class BatchedWorkerEngine:
         counts_py = [int(x.shape[0]) for x in xs]
         batches_py = [min(batch_size, c) for c in counts_py]
         b_max = max(batches_py)
+        if pad_to is not None:
+            if pad_to < b_max:
+                raise ValueError(
+                    f"pad_to={pad_to} is smaller than the largest member "
+                    f"batch ({b_max})"
+                )
+            b_max = pad_to
         feat_shape = xs[0].shape[1:]
 
         # Concatenate the group's data once (cached per worker-id tuple)

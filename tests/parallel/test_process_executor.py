@@ -1,0 +1,314 @@
+"""Serial-vs-multiprocess equivalence and lifecycle of ProcessGroupExecutor.
+
+The contract under test (docs/ARCHITECTURE.md, "Process-pool data flow"):
+training a group on the worker-process pool is **bit-identical in
+float64** to the serial batched engine — for MLP and CNN models, for
+1/2/4-process pools, for ragged groups (per-worker batch sizes that
+differ) and across pool crashes (the executor respawns the pool and, with
+the restart budget exhausted, falls back to an in-process run, never
+changing a result).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core import AirFedGAConfig, GroupingConfig, ParallelismConfig
+from repro.experiments.bench import bench_grouped_round_mp
+from repro.experiments.configs import cnn_mnist_config, lr_mnist_config
+from repro.experiments.runner import build_experiment
+from repro.fl.registry import build_trainer
+from repro.nn.batched import BatchedWorkerEngine, shared_stack_view
+from repro.nn.layers import Dense, Dropout, ReLU
+from repro.nn.models import LogisticRegressionMLP, MnistCNN, SequentialModel
+from repro.parallel import ProcessGroupExecutor, UnsupportedModelError
+
+HYPER = dict(learning_rate=0.2, local_steps=2, batch_size=16, seed=11)
+
+
+def _make_worker_data(counts, feat_shape=(64,), seed=0):
+    rng = np.random.default_rng(seed)
+    data = []
+    for n in counts:
+        x = rng.standard_normal((n,) + feat_shape)
+        y = rng.integers(0, 10, size=n)
+        data.append((x, y))
+    return data
+
+
+def _serial_reference(model, worker_data, ids, base, round_index=3):
+    engine = BatchedWorkerEngine.try_build(model)
+    assert engine is not None
+    out = np.empty((len(ids), model.dimension))
+    engine.run_group(ids, [worker_data[w] for w in ids], base, round_index, out=out, **HYPER)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Executor-level equivalence
+# ----------------------------------------------------------------------
+class TestExecutorEquivalence:
+    @pytest.mark.parametrize("num_processes", [1, 2, 4])
+    def test_mlp_uniform_group_bit_exact(self, num_processes):
+        model = LogisticRegressionMLP(input_dim=64, hidden=8, num_classes=10, seed=3)
+        worker_data = _make_worker_data([24] * 6)
+        ids = list(range(6))
+        base = model.get_vector()
+        expected = _serial_reference(model, worker_data, ids, base)
+        with ProcessGroupExecutor(
+            model, worker_data, num_processes=num_processes, **HYPER
+        ) as ex:
+            got = ex.run_group(ids, base, round_index=3)
+            assert np.array_equal(got, expected)
+
+    @pytest.mark.parametrize("num_processes", [2, 4])
+    def test_mlp_ragged_group_bit_exact(self, num_processes):
+        # Per-worker sample counts below the batch size make the padded
+        # batch geometry ragged; shards are pinned to the group's padded
+        # dimension (pad_to), so sharding must not change a single bit.
+        model = LogisticRegressionMLP(input_dim=64, hidden=8, num_classes=10, seed=3)
+        worker_data = _make_worker_data([20, 7, 3, 16, 1, 12])
+        ids = list(range(6))
+        base = model.get_vector()
+        expected = _serial_reference(model, worker_data, ids, base)
+        with ProcessGroupExecutor(
+            model, worker_data, num_processes=num_processes, **HYPER
+        ) as ex:
+            got = ex.run_group(ids, base, round_index=3)
+            assert np.array_equal(got, expected)
+
+    def test_cnn_group_spanning_conv_tiles_bit_exact(self):
+        # 14 workers > the conv group tile (12): the serial engine splits
+        # the group into tiles internally, and the executor must align its
+        # shard boundaries to those tiles to reproduce the call tree.
+        model = MnistCNN(image_size=8, scale=0.08, num_classes=10, seed=5)
+        worker_data = _make_worker_data([10] * 14, feat_shape=(1, 8, 8), seed=2)
+        ids = list(range(14))
+        base = model.get_vector()
+        expected = _serial_reference(model, worker_data, ids, base)
+        with ProcessGroupExecutor(model, worker_data, num_processes=2, **HYPER) as ex:
+            got = ex.run_group(ids, base, round_index=3)
+            assert np.array_equal(got, expected)
+
+    def test_workers_without_data_keep_base(self):
+        model = LogisticRegressionMLP(input_dim=64, hidden=8, num_classes=10, seed=3)
+        worker_data = _make_worker_data([12, 0, 12, 0])
+        ids = list(range(4))
+        base = model.get_vector()
+        expected = _serial_reference(model, worker_data, ids, base)
+        with ProcessGroupExecutor(model, worker_data, num_processes=2, **HYPER) as ex:
+            got = ex.run_group(ids, base, round_index=3)
+            assert np.array_equal(got, expected)
+            assert np.array_equal(got[1], base)
+
+    def test_donated_stack_is_shared_arena_view(self):
+        model = LogisticRegressionMLP(input_dim=64, hidden=8, num_classes=10, seed=3)
+        worker_data = _make_worker_data([12] * 4)
+        with ProcessGroupExecutor(model, worker_data, num_processes=1, **HYPER) as ex:
+            base = model.get_vector()
+            got = ex.run_group(list(range(4)), base, round_index=1)
+            assert got is not None and got.shape == (4, model.dimension)
+            assert np.shares_memory(got, ex.stack(4))
+            # An explicit out buffer receives a copy instead.
+            out = np.empty((4, model.dimension))
+            got2 = ex.run_group(list(range(4)), base, round_index=1, out=out)
+            assert got2 is out
+            assert np.array_equal(out, got)
+
+
+# ----------------------------------------------------------------------
+# Pool-crash recovery
+# ----------------------------------------------------------------------
+def _kill_pool_workers(executor):
+    pids = executor.worker_pids()
+    assert pids, "pool has no live workers to kill"
+    for pid in pids:
+        os.kill(pid, signal.SIGKILL)
+    deadline = time.monotonic() + 10.0
+    while time.monotonic() < deadline:
+        alive = []
+        for pid in pids:
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                continue
+            alive.append(pid)
+        if not alive:
+            return
+        time.sleep(0.05)
+
+
+class TestCrashRecovery:
+    def test_pool_respawn_preserves_results(self):
+        model = LogisticRegressionMLP(input_dim=64, hidden=8, num_classes=10, seed=3)
+        worker_data = _make_worker_data([16] * 4)
+        ids = list(range(4))
+        base = model.get_vector()
+        expected = _serial_reference(model, worker_data, ids, base)
+        with ProcessGroupExecutor(
+            model, worker_data, num_processes=2, max_restarts=2, **HYPER
+        ) as ex:
+            first = ex.run_group(ids, base, round_index=3).copy()
+            assert np.array_equal(first, expected)
+            _kill_pool_workers(ex)
+            second = ex.run_group(ids, base, round_index=3)
+            assert np.array_equal(second, expected)
+            assert ex.restarts >= 1
+            assert ex.fallbacks == 0
+
+    def test_exhausted_restarts_fall_back_in_process(self):
+        model = LogisticRegressionMLP(input_dim=64, hidden=8, num_classes=10, seed=3)
+        worker_data = _make_worker_data([16] * 4)
+        ids = list(range(4))
+        base = model.get_vector()
+        expected = _serial_reference(model, worker_data, ids, base)
+        with ProcessGroupExecutor(
+            model, worker_data, num_processes=1, max_restarts=0, **HYPER
+        ) as ex:
+            ex.run_group(ids, base, round_index=3)
+            _kill_pool_workers(ex)
+            got = ex.run_group(ids, base, round_index=3)
+            assert np.array_equal(got, expected)
+            assert ex.fallbacks == 1
+
+
+# ----------------------------------------------------------------------
+# Lifecycle / refusal paths
+# ----------------------------------------------------------------------
+class TestLifecycle:
+    def test_close_is_idempotent_and_run_after_close_raises(self):
+        model = LogisticRegressionMLP(input_dim=64, hidden=8, num_classes=10, seed=3)
+        worker_data = _make_worker_data([12] * 2)
+        ex = ProcessGroupExecutor(model, worker_data, num_processes=1, **HYPER)
+        ex.close()
+        ex.close()
+        assert ex.closed
+        with pytest.raises(RuntimeError):
+            ex.run_group([0, 1], model.get_vector(), round_index=1)
+
+    def test_active_dropout_model_is_refused(self):
+        rng = np.random.default_rng(0)
+        model = SequentialModel(
+            [
+                Dense("fc1", 16, 8, rng),
+                ReLU("relu"),
+                Dropout("drop", 0.5, rng),
+                Dense("out", 8, 4, rng),
+            ]
+        )
+        with pytest.raises(UnsupportedModelError):
+            ProcessGroupExecutor(
+                model, _make_worker_data([8], feat_shape=(16,)), **HYPER
+            )
+
+    def test_pad_to_smaller_than_batch_raises(self):
+        model = LogisticRegressionMLP(input_dim=64, hidden=8, num_classes=10, seed=3)
+        engine = BatchedWorkerEngine.try_build(model)
+        worker_data = _make_worker_data([16])
+        out = np.empty((1, model.dimension))
+        with pytest.raises(ValueError, match="pad_to"):
+            engine.run_group(
+                [0], worker_data, model.get_vector(), 1, out=out, pad_to=2, **HYPER
+            )
+
+    def test_shared_stack_view_wraps_and_offsets(self):
+        buf = bytearray(4 * 3 * 8)
+        view = shared_stack_view(buf, 4, 3)
+        assert view.shape == (4, 3)
+        view[2, 1] = 7.0
+        tail = shared_stack_view(buf, 2, 3, offset=2 * 3)
+        assert tail[0, 1] == 7.0
+
+
+# ----------------------------------------------------------------------
+# Trainer-level equivalence (the full Air-FedGA event loop)
+# ----------------------------------------------------------------------
+def _run_air_fedga(config_fn, parallelism, **kwargs):
+    cfg = config_fn(num_workers=8, num_train=160, image_size=8, max_rounds=10, **kwargs).scaled(
+        local_steps=2,
+        batch_size=16,
+        eval_every=2,
+        max_eval_samples=48,
+        config=AirFedGAConfig(grouping=GroupingConfig(xi=1.0), parallelism=parallelism),
+    )
+    with build_trainer("air_fedga", build_experiment(cfg)) as trainer:
+        history = trainer.run(max_rounds=5)
+        return (
+            trainer.global_vector.copy(),
+            [(r.loss, r.accuracy, r.time) for r in history.records],
+            trainer.parallelism_active,
+        )
+
+
+class TestTrainerEquivalence:
+    @pytest.mark.parametrize("num_processes", [1, 2, 4])
+    def test_air_fedga_mlp_history_bit_exact(self, num_processes):
+        gv_serial, hist_serial, _ = _run_air_fedga(
+            lr_mnist_config, ParallelismConfig(mode="none"), hidden=16
+        )
+        gv_mp, hist_mp, active = _run_air_fedga(
+            lr_mnist_config,
+            ParallelismConfig(mode="processes", num_processes=num_processes),
+            hidden=16,
+        )
+        assert active
+        assert np.array_equal(gv_serial, gv_mp)
+        assert hist_serial == hist_mp
+
+    def test_air_fedga_cnn_history_bit_exact(self):
+        gv_serial, hist_serial, _ = _run_air_fedga(
+            cnn_mnist_config, ParallelismConfig(mode="none"), scale=0.1
+        )
+        gv_mp, hist_mp, active = _run_air_fedga(
+            cnn_mnist_config,
+            ParallelismConfig(mode="processes", num_processes=2),
+            scale=0.1,
+        )
+        assert active
+        assert np.array_equal(gv_serial, gv_mp)
+        assert hist_serial == hist_mp
+
+    def test_scalar_engine_downgrades_with_warning(self, small_experiment):
+        exp = small_experiment
+        exp.engine = "scalar"
+        exp.config.parallelism = ParallelismConfig(mode="processes")
+        with build_trainer("air_fedga", exp) as trainer:
+            with pytest.warns(RuntimeWarning, match="no batched engine"):
+                assert trainer.parallel_executor() is None
+            assert not trainer.parallelism_active
+
+    def test_small_groups_stay_in_process(self, small_experiment):
+        exp = small_experiment
+        exp.config.parallelism = ParallelismConfig(
+            mode="processes", min_group_size=1_000
+        )
+        with build_trainer("air_fedga", exp) as trainer:
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                trainer.run(max_rounds=2)
+            # Gated by min_group_size: no dispatch ever reached the pool.
+            assert trainer._executor is None or trainer._executor.dispatches == 0
+
+
+# ----------------------------------------------------------------------
+# Benchmark-tier guard
+# ----------------------------------------------------------------------
+class TestBenchGuard:
+    def test_refuses_parallelism_none(self):
+        with pytest.raises(ValueError, match="serial"):
+            bench_grouped_round_mp(10, parallelism="none")
+
+    def test_refuses_silent_serial_fallback(self, monkeypatch):
+        from repro.fl.base import BaseTrainer
+
+        monkeypatch.setattr(BaseTrainer, "parallel_executor", lambda self: None)
+        with pytest.raises(RuntimeError, match="mislabeled"):
+            bench_grouped_round_mp(
+                10, rounds_per_group=1, repeats=1, num_processes=1
+            )

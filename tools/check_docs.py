@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Documentation checker: link integrity + executable examples.
+
+Mirrored by ``make docs-check`` and the CI ``docs`` job.  Two passes over
+``README.md`` and ``docs/*.md``:
+
+1. **link check** — every relative markdown link must point at an
+   existing file (anchors are validated against the target's headings,
+   GitHub-style slugs); external ``http(s)``/``mailto`` links are only
+   syntax-checked, never fetched, so the job works offline;
+2. **doctest** — every file containing ``>>>`` examples is run through
+   :mod:`doctest` (``python -m doctest`` semantics), so the fenced
+   examples in ``docs/API.md`` are executed against the live library and
+   cannot drift from the code.
+
+Exit status is non-zero on any failure; run from the repo root with
+``PYTHONPATH=src`` (the Makefile exports it).
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: ``[text](target)`` — excludes images' leading ``!`` only in reporting;
+#: image targets are checked like any other link.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def doc_files() -> List[Path]:
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, spaces to hyphens, drop punctuation."""
+    heading = re.sub(r"`([^`]*)`", r"\1", heading).strip().lower()
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> List[str]:
+    text = path.read_text(encoding="utf-8")
+    return [github_slug(m.group(1)) for m in _HEADING_RE.finditer(text)]
+
+
+def check_links(path: Path) -> List[str]:
+    errors: List[str] = []
+    text = path.read_text(encoding="utf-8")
+    for match in _LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(_EXTERNAL) or target.startswith("<"):
+            continue
+        name, _, anchor = target.partition("#")
+        if name:
+            resolved = (path.parent / name).resolve()
+            if not resolved.exists():
+                errors.append(f"{path.relative_to(REPO_ROOT)}: broken link -> {target}")
+                continue
+            anchor_file = resolved
+        else:
+            anchor_file = path
+        if anchor and anchor_file.suffix == ".md":
+            if anchor not in heading_slugs(anchor_file):
+                errors.append(
+                    f"{path.relative_to(REPO_ROOT)}: missing anchor -> {target}"
+                )
+    return errors
+
+
+def run_doctests(path: Path) -> Tuple[int, int]:
+    """Run the file's ``>>>`` examples; returns (failures, attempts)."""
+    if ">>>" not in path.read_text(encoding="utf-8"):
+        return 0, 0
+    result = doctest.testfile(str(path), module_relative=False, verbose=False)
+    return result.failed, result.attempted
+
+
+def main() -> int:
+    failures = 0
+    for path in doc_files():
+        rel = path.relative_to(REPO_ROOT)
+        errors = check_links(path)
+        for err in errors:
+            print(f"LINK FAIL  {err}")
+        failures += len(errors)
+        failed, attempted = run_doctests(path)
+        failures += failed
+        status = "ok" if not (errors or failed) else "FAIL"
+        print(
+            f"{status:4s} {rel}  (links checked, {attempted} doctest "
+            f"example{'s' if attempted != 1 else ''}, {failed} failed)"
+        )
+    if failures:
+        print(f"\ndocs check failed: {failures} problem(s)")
+        return 1
+    print("\ndocs check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
