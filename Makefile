@@ -21,7 +21,7 @@ bench:           ## perf suite (scalar reference vs vectorized engine), appends 
 bench-quick:     ## smaller/faster perf smoke run (the CI bench-smoke job); writes BENCH_smoke.json (gitignored) so the committed BENCH_perf_v1.json trajectory stays curated
 	$(PYTHON) -m repro.experiments bench --label smoke --quick
 
-docs-check:      ## link-check docs/*.md + README and run doctest on their fenced examples (the CI docs job)
+docs-check:      ## link-check docs/*.md + README, run doctest on their fenced examples, and check docs/API.md covers every repro.fl/parallel/core export (the CI docs job)
 	$(PYTHON) tools/check_docs.py
 
 ci: lint test-ci bench-quick docs-check  ## reproduce the full CI pipeline locally

@@ -14,26 +14,48 @@ Execution engines are orthogonal to the schedule: each group's
 local-training phase runs on the scalar per-worker path, the in-process
 batched engine, or — with ``config.parallelism.mode == "processes"`` — a
 worker-process pool (:class:`~repro.parallel.ProcessGroupExecutor`) that
-shards the group across CPU cores through shared-memory buffers.  The
-virtual-time event loop itself stays single-threaded and deterministic:
-aggregation, power control and the channel-noise RNG always run in the
-parent process, in event order, so the produced
-:class:`~repro.fl.history.TrainingHistory` is identical across engines
-(bit-identical in float64 between serial and multiprocess execution).
+shards the group across CPU cores through shared-memory buffers.  With
+``config.parallelism.pipeline`` the loop additionally *overlaps* its
+phases in wall-clock terms: while the parent performs the current group's
+aggregation, power control and staleness bookkeeping, the pool already
+trains the next ready group's shards speculatively
+(:meth:`ProcessGroupExecutor.submit_group`), falling back to an in-order
+recompute when a commit invalidates the speculation (counted as
+``TrainingHistory.pipeline_recomputes``).
+
+The virtual-time event loop itself stays single-threaded and
+deterministic: aggregation, power control and the channel-noise RNG
+always run in the parent process, in event order, so the produced
+:class:`~repro.fl.history.TrainingHistory` is identical across engines —
+bit-identical in float64 between serial, multiprocess and pipelined
+execution (see ``docs/ARCHITECTURE.md``, "Determinism invariants", for
+exactly which operations must stay in the parent and in event order).
 """
 
 from __future__ import annotations
 
 import heapq
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.mechanism import GroupAsyncScheduler
+from ..parallel import GroupFuture
 from .base import BaseTrainer, FLExperiment
 from .history import TrainingHistory
 
 __all__ = ["GroupedAsyncTrainer"]
+
+
+@dataclass
+class _Speculation:
+    """One in-flight speculative group dispatch of the pipelined loop."""
+
+    group_id: int
+    round_index: int     # the round the speculation assumed it would commit
+    base_version: int    # _base_versions[group_id] at submit time
+    future: GroupFuture
 
 
 class GroupedAsyncTrainer(BaseTrainer):
@@ -48,7 +70,12 @@ class GroupedAsyncTrainer(BaseTrainer):
         following the asynchronous-FL literature the paper cites, e.g. Xie et
         al.): a group whose update is based on a global model ``τ`` rounds
         old contributes with weight ``1 / (1 + τ)**staleness_exponent``.
-        The default ``0.0`` reproduces the paper's Eq. (10) exactly.
+        The default ``0.0`` reproduces the paper's Eq. (10) exactly.  The
+        damping mix happens in the parent process in event order — one of
+        the determinism invariants (``docs/ARCHITECTURE.md``, "Determinism
+        invariants") — so it composes with both multiprocess execution and
+        the pipelined mode (``config.parallelism.pipeline``): speculation
+        never changes which staleness ``τ`` a commit observes.
     """
 
     name = "grouped_async"
@@ -72,6 +99,12 @@ class GroupedAsyncTrainer(BaseTrainer):
         self._group_base: Dict[int, np.ndarray] = {
             g: self.global_vector.copy() for g in range(len(self.groups))
         }
+        # Monotonic counter per group, bumped whenever _group_base[g] is
+        # overwritten.  The pipelined loop records it at speculation-submit
+        # time and validates it at commit time: a speculative result is
+        # only usable if the base it trained from is still the base the
+        # group would train from in event order.
+        self._base_versions: List[int] = [0] * len(self.groups)
         # Uplink occupancy: aggregations (AirComp bursts or OMA uploads) from
         # different groups share the same band, so they are serialized at the
         # parameter server.  This is what makes very small groups (ξ → 0)
@@ -107,6 +140,80 @@ class GroupedAsyncTrainer(BaseTrainer):
         return float(self.exp.latency.sample_times(members, round_index).max())
 
     # ------------------------------------------------------------------
+    # Pipelined-execution hooks (config.parallelism.pipeline)
+    # ------------------------------------------------------------------
+    def pipeline_lookahead(
+        self,
+        queue: Sequence[Tuple[float, int]],
+        reentry: Tuple[float, int],
+    ) -> Optional[int]:
+        """Group id of the queue entry certain to be popped next, or ``None``.
+
+        Called while the current group's aggregation is still pending, with
+        ``reentry`` being the ``(next_ready, group_id)`` entry the current
+        group will re-enter the queue with.  The head of the heap is the
+        next pop **unless** the re-entry sorts before it (a fast group
+        lapping the rest), in which case speculating on the head would
+        train it with a wrong round index.
+
+        The head's *base* can never be invalidated here — only a group's
+        own commit rewrites its base, and the committing group is not in
+        the queue — so with the deterministic latency/upload models this
+        prediction is exact and speculation always hits.  Subclasses with
+        stateful or non-deterministic timing overrides can loosen (or
+        skip) the re-entry comparison; a wrong prediction is then caught
+        by the commit-time validation and recomputed in event order
+        (``TrainingHistory.pipeline_recomputes``), never corrupting the
+        history.
+        """
+        if not queue:
+            return None
+        head = queue[0]
+        if reentry < head:
+            return None
+        return head[1]
+
+    def _submit_speculation(
+        self,
+        queue: List[Tuple[float, int]],
+        reentry: Tuple[float, int],
+        round_index: int,
+        max_rounds: int,
+        max_time: Optional[float],
+    ) -> Optional[_Speculation]:
+        """Speculatively dispatch the predicted next group's local round.
+
+        Returns ``None`` whenever speculation is not worthwhile or not
+        possible: the loop is about to stop, the predicted group is gated
+        in-process by ``min_group_size``, or no arena slot is free.
+        """
+        executor = self._executor
+        if executor is None or executor.closed or executor.free_slots == 0:
+            return None
+        if round_index >= max_rounds:
+            return None  # the loop stops after this round
+        next_group = self.pipeline_lookahead(queue, reentry)
+        if next_group is None:
+            return None
+        members = self.groups[next_group]
+        if len(members) < self.exp.config.parallelism.min_group_size:
+            return None  # the pop-time path would train in-process
+        if max_time is not None:
+            # queue is a heap, so its minimum is queue[0].
+            next_time = min(queue[0][0], reentry[0])
+            if next_time > max_time:
+                return None  # the loop stops before the next pop commits
+        future = executor.submit_group(
+            members, self._group_base[next_group], round_index + 1
+        )
+        return _Speculation(
+            group_id=next_group,
+            round_index=round_index + 1,
+            base_version=self._base_versions[next_group],
+            future=future,
+        )
+
+    # ------------------------------------------------------------------
     def run(
         self, max_rounds: int = 100, max_time: Optional[float] = None
     ) -> TrainingHistory:
@@ -117,7 +224,10 @@ class GroupedAsyncTrainer(BaseTrainer):
         # first round still pays that one-time cost (benchmarks that need
         # it excluded perform an untimed warm-up dispatch, see
         # repro.experiments.bench).  Serial configurations are a no-op.
-        self.parallel_executor()
+        executor = self.parallel_executor()
+        pipelining = bool(
+            self.exp.config.parallelism.pipeline and executor is not None
+        )
         self.record_round(round_index=0, time=0.0, num_participants=0, force_eval=True)
         # Priority queue of (ready_time, group_id): the moment every member
         # of the group has finished local training and sent READY.
@@ -125,65 +235,119 @@ class GroupedAsyncTrainer(BaseTrainer):
         for g in range(len(self.groups)):
             heapq.heappush(queue, (self.group_compute_time(g, 1), g))
 
-        while queue:
-            ready_time, group_id = heapq.heappop(queue)
-            if max_time is not None and ready_time > max_time:
-                break
-            members = self.groups[group_id]
-            # Protocol: every member sends READY; the last one completes the
-            # group and triggers EXECUTE.
-            completed: Optional[int] = None
-            for w in members:
-                result = self.scheduler.receive_ready(w)
-                if result is not None:
-                    completed = result
-            if completed is None:
-                raise RuntimeError("group did not complete after all READY messages")
-            event = self.scheduler.complete_aggregation(group_id)
-            t = event.round_index
+        spec: Optional[_Speculation] = None
+        try:
+            while queue:
+                ready_time, group_id = heapq.heappop(queue)
+                if max_time is not None and ready_time > max_time:
+                    break
+                members = self.groups[group_id]
+                # Protocol: every member sends READY; the last one completes
+                # the group and triggers EXECUTE.
+                completed: Optional[int] = None
+                for w in members:
+                    result = self.scheduler.receive_ready(w)
+                    if result is not None:
+                        completed = result
+                if completed is None:
+                    raise RuntimeError(
+                        "group did not complete after all READY messages"
+                    )
+                event = self.scheduler.complete_aggregation(group_id)
+                t = event.round_index
 
-            # Local updates are computed from the global version this group
-            # last received (Eq. 5); the round index seeds the batch sampling.
-            # The whole group trains as one batched tensor pass when the
-            # model supports it (scalar per-worker fallback otherwise).
-            base = self._group_base[group_id]
-            local_vectors = self.local_update_group(members, base, t)
+                # Local updates are computed from the global version this
+                # group last received (Eq. 5); the round index seeds the
+                # batch sampling.  A pipelined run may already hold this
+                # exact round's result from the speculative dispatch made
+                # while the previous aggregation was being committed.
+                base = self._group_base[group_id]
+                consumed: Optional[_Speculation] = None
+                if spec is not None:
+                    if (
+                        spec.group_id == group_id
+                        and spec.round_index == t
+                        and spec.base_version == self._base_versions[group_id]
+                    ):
+                        consumed = spec
+                    else:
+                        # An interleaving commit invalidated the speculation
+                        # (wrong group, round or base): discard the result
+                        # and recompute in event order.
+                        spec.future.discard()
+                        self.history.pipeline_recomputes += 1
+                    spec = None
+                if consumed is not None:
+                    local_vectors = consumed.future.result()
+                    self.history.pipeline_hits += 1
+                else:
+                    # The whole group trains as one batched tensor pass when
+                    # the model supports it (scalar per-worker fallback
+                    # otherwise).
+                    local_vectors = self.local_update_group(members, base, t)
 
-            upload = self.upload_time(members, t)
-            # The group can only start its aggregation once the shared uplink
-            # is free; with many small groups this queueing delay dominates.
-            upload_start = max(ready_time, self._channel_busy_until)
-            update_time = upload_start + upload
-            self._channel_busy_until = update_time
+                upload = self.upload_time(members, t)
+                # The group can only start its aggregation once the shared
+                # uplink is free; with many small groups this queueing delay
+                # dominates.
+                upload_start = max(ready_time, self._channel_busy_until)
+                update_time = upload_start + upload
+                self._channel_busy_until = update_time
+                # Both timing draws below are pure functions of
+                # (group, round), so evaluating next_ready before the
+                # aggregation consumes no RNG state out of order.
+                next_ready = update_time + self.group_compute_time(group_id, t + 1)
 
-            new_global, info = self.aggregate_group(
-                group_id, members, local_vectors, t
-            )
-            if self.staleness_exponent > 0.0 and event.staleness > 0:
-                # Staleness-aware damping (extension, off by default): shrink
-                # the contribution of updates computed from old global models.
-                weight = 1.0 / (1.0 + event.staleness) ** self.staleness_exponent
-                new_global = (1.0 - weight) * self.global_vector + weight * new_global
-            # Swap (not copy) the trainer-owned update buffer into place.
-            self._commit_global(new_global)
-            # The group receives the fresh global model and immediately
-            # starts its next local round.
-            np.copyto(self._group_base[group_id], self.global_vector)
-            next_ready = update_time + self.group_compute_time(group_id, t + 1)
-            heapq.heappush(queue, (next_ready, group_id))
+                if pipelining and (max_time is None or update_time < max_time):
+                    # Overlap: dispatch the predicted next group's training
+                    # to the pool *before* the parent starts this round's
+                    # aggregation, so both proceed concurrently.
+                    spec = self._submit_speculation(
+                        queue, (next_ready, group_id), t, max_rounds, max_time
+                    )
 
-            self.record_round(
-                round_index=t,
-                time=update_time,
-                staleness=event.staleness,
-                group_id=group_id,
-                num_participants=len(members),
-                round_energy=info.get("round_energy_j", 0.0),
-                sigma=info.get("sigma", float("nan")),
-                eta=info.get("eta", float("nan")),
-            )
-            if t >= max_rounds:
-                break
-            if max_time is not None and update_time >= max_time:
-                break
+                new_global, info = self.aggregate_group(
+                    group_id, members, local_vectors, t
+                )
+                if self.staleness_exponent > 0.0 and event.staleness > 0:
+                    # Staleness-aware damping (extension, off by default):
+                    # shrink the contribution of updates computed from old
+                    # global models.
+                    weight = 1.0 / (1.0 + event.staleness) ** self.staleness_exponent
+                    new_global = (
+                        1.0 - weight
+                    ) * self.global_vector + weight * new_global
+                # Swap (not copy) the trainer-owned update buffer into place.
+                self._commit_global(new_global)
+                if consumed is not None:
+                    # The aggregation has read the speculative stack; its
+                    # arena slot may now host the next dispatch.
+                    consumed.future.release()
+                # The group receives the fresh global model and immediately
+                # starts its next local round.
+                np.copyto(self._group_base[group_id], self.global_vector)
+                self._base_versions[group_id] += 1
+                heapq.heappush(queue, (next_ready, group_id))
+
+                self.record_round(
+                    round_index=t,
+                    time=update_time,
+                    staleness=event.staleness,
+                    group_id=group_id,
+                    num_participants=len(members),
+                    round_energy=info.get("round_energy_j", 0.0),
+                    sigma=info.get("sigma", float("nan")),
+                    eta=info.get("eta", float("nan")),
+                )
+                if t >= max_rounds:
+                    break
+                if max_time is not None and update_time >= max_time:
+                    break
+        finally:
+            if spec is not None:
+                # Loop ended (or raised) with a speculation in flight: wait
+                # for the pool to go quiet and free the arena slot so the
+                # trainer can run again.
+                spec.future.discard()
+                spec = None
         return self.history

@@ -40,10 +40,22 @@ class RoundRecord:
 
 @dataclass
 class TrainingHistory:
-    """Ordered sequence of :class:`RoundRecord` with derived queries."""
+    """Ordered sequence of :class:`RoundRecord` with derived queries.
+
+    ``pipeline_hits`` / ``pipeline_recomputes`` count the pipelined event
+    loop's speculation outcomes (``config.parallelism.pipeline``): a *hit*
+    is a group round whose local training was already finished by the pool
+    when its aggregation event was popped; a *recompute* is a speculative
+    result invalidated by an interleaving commit and recomputed in event
+    order.  They are execution statistics, not simulated quantities — the
+    ``records`` of a pipelined run are bit-identical to the serial run's
+    (float64), while these counters naturally differ.
+    """
 
     mechanism: str
     records: List[RoundRecord] = field(default_factory=list)
+    pipeline_hits: int = 0
+    pipeline_recomputes: int = 0
 
     # ------------------------------------------------------------------
     def append(self, record: RoundRecord) -> None:
@@ -166,19 +178,34 @@ class TrainingHistory:
         if max_points < 1:
             raise ValueError("max_points must be >= 1")
         if len(self.records) <= max_points:
-            return TrainingHistory(self.mechanism, list(self.records))
+            return TrainingHistory(
+                self.mechanism, list(self.records),
+                pipeline_hits=self.pipeline_hits,
+                pipeline_recomputes=self.pipeline_recomputes,
+            )
         idx = np.linspace(0, len(self.records) - 1, max_points).astype(int)
-        return TrainingHistory(self.mechanism, [self.records[i] for i in idx])
+        return TrainingHistory(
+            self.mechanism, [self.records[i] for i in idx],
+            pipeline_hits=self.pipeline_hits,
+            pipeline_recomputes=self.pipeline_recomputes,
+        )
 
     # ------------------------------------------------------------------
     # Serialization (used by the CLI reproduction driver)
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, object]:
-        """JSON-serializable representation of the full history."""
+        """JSON-serializable representation of the full history.
+
+        ``pipeline_hits`` / ``pipeline_recomputes`` are included as
+        top-level execution statistics; compare ``records`` (not the whole
+        dict) when asserting serial-vs-pipelined determinism.
+        """
         return {
             "mechanism": self.mechanism,
             "records": [asdict(r) for r in self.records],
             "summary": self.summary(),
+            "pipeline_hits": self.pipeline_hits,
+            "pipeline_recomputes": self.pipeline_recomputes,
         }
 
     @classmethod
@@ -186,7 +213,11 @@ class TrainingHistory:
         """Inverse of :meth:`to_dict`."""
         if "mechanism" not in data or "records" not in data:
             raise ValueError("history dict must contain 'mechanism' and 'records'")
-        history = cls(mechanism=str(data["mechanism"]))
+        history = cls(
+            mechanism=str(data["mechanism"]),
+            pipeline_hits=int(data.get("pipeline_hits", 0)),
+            pipeline_recomputes=int(data.get("pipeline_recomputes", 0)),
+        )
         for raw in data["records"]:
             history.append(RoundRecord(**raw))
         return history

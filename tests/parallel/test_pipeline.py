@@ -1,0 +1,335 @@
+"""Pipelined event-loop determinism and speculation lifecycle.
+
+The contract under test (docs/ARCHITECTURE.md, "Pipelined event loop" and
+"Determinism invariants"): with ``config.parallelism.pipeline`` the
+trainer overlaps the parent's aggregation with speculative training of
+the next ready group on the process pool, and the produced
+``TrainingHistory`` *records* stay **bit-identical in float64** to the
+serial event loop — for MLP and CNN models, for ragged groups, and even
+when speculations are invalidated and recomputed.  The speculation
+counters (``pipeline_hits`` / ``pipeline_recomputes``) are execution
+statistics outside the determinism contract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import AirFedGAConfig, GroupingConfig, ParallelismConfig
+from repro.experiments.bench import bench_grouped_round_pipeline
+from repro.experiments.configs import cnn_mnist_config, lr_mnist_config
+from repro.experiments.runner import build_experiment
+from repro.fl.air_fedga import AirFedGATrainer
+from repro.fl.registry import build_trainer
+from repro.nn.models import LogisticRegressionMLP
+from repro.parallel import ProcessGroupExecutor
+
+
+def _record_trace(history):
+    """The simulated per-round quantities the determinism contract covers."""
+    return [
+        (r.round_index, r.time, r.loss, r.accuracy, r.staleness, r.group_id,
+         r.round_energy_j, r.sigma, r.eta)
+        for r in history.records
+    ]
+
+
+def _run_air_fedga(config_fn, parallelism, *, num_groups=3, rounds=10, **kwargs):
+    cfg = config_fn(
+        num_workers=12, num_train=240, image_size=8, max_rounds=40, **kwargs
+    ).scaled(
+        local_steps=2,
+        batch_size=16,
+        eval_every=1,
+        max_eval_samples=48,
+        config=AirFedGAConfig(
+            grouping=GroupingConfig(xi=1.0), parallelism=parallelism
+        ),
+    )
+    with build_trainer(
+        "air_fedga",
+        build_experiment(cfg),
+        grouping_strategy="tier",
+        num_groups=num_groups,
+    ) as trainer:
+        history = trainer.run(max_rounds=rounds)
+        return trainer.global_vector.copy(), _record_trace(history), history
+
+
+# ----------------------------------------------------------------------
+# Configuration validation
+# ----------------------------------------------------------------------
+class TestPipelineConfig:
+    def test_pipeline_requires_processes_mode(self):
+        with pytest.raises(ValueError, match="pipeline=True requires mode='processes'"):
+            ParallelismConfig(mode="none", pipeline=True)
+
+    def test_pipeline_requires_two_inflight_slots(self):
+        with pytest.raises(ValueError, match="max_inflight >= 2"):
+            ParallelismConfig(mode="processes", pipeline=True, max_inflight=1)
+
+    def test_max_inflight_validated(self):
+        with pytest.raises(ValueError, match="max_inflight"):
+            ParallelismConfig(max_inflight=0)
+
+    def test_valid_pipeline_config(self):
+        par = ParallelismConfig(mode="processes", pipeline=True)
+        assert par.max_inflight == 2
+
+
+# ----------------------------------------------------------------------
+# Executor-level async dispatch
+# ----------------------------------------------------------------------
+class TestSubmitGroup:
+    HYPER = dict(learning_rate=0.2, local_steps=2, batch_size=16, seed=11)
+
+    def _model_and_data(self):
+        model = LogisticRegressionMLP(input_dim=64, hidden=8, num_classes=10, seed=3)
+        rng = np.random.default_rng(0)
+        data = [
+            (rng.standard_normal((20, 64)), rng.integers(0, 10, 20))
+            for _ in range(6)
+        ]
+        return model, data
+
+    def test_future_result_matches_run_group(self):
+        model, data = self._model_and_data()
+        base = model.get_vector()
+        with ProcessGroupExecutor(
+            model, data, num_processes=2, num_slots=2, **self.HYPER
+        ) as ex:
+            expected = ex.run_group([0, 1, 2], base, round_index=3).copy()
+            fut = ex.submit_group([0, 1, 2], base, round_index=3)
+            assert np.array_equal(fut.result(), expected)
+            fut.release()
+
+    def test_two_slots_coexist(self):
+        # The pipelined loop's core requirement: the committing group's
+        # stack and the speculative group's stack live in different arena
+        # slots, so neither dispatch overwrites the other.
+        model, data = self._model_and_data()
+        base = model.get_vector()
+        with ProcessGroupExecutor(
+            model, data, num_processes=2, num_slots=2, **self.HYPER
+        ) as ex:
+            exp_a = ex.run_group([0, 1, 2], base, round_index=1).copy()
+            exp_b = ex.run_group([3, 4, 5], base, round_index=2).copy()
+            fut_a = ex.submit_group([0, 1, 2], base, round_index=1)
+            fut_b = ex.submit_group([3, 4, 5], base, round_index=2)
+            got_a = fut_a.result()
+            got_b = fut_b.result()
+            assert fut_a.slot != fut_b.slot
+            assert np.array_equal(got_a, exp_a)
+            assert np.array_equal(got_b, exp_b)
+            fut_a.release()
+            fut_b.release()
+
+    def test_base_copied_at_submit_time(self):
+        # Speculation safety: the caller may mutate its base vector (e.g.
+        # commit a new global model) after submit without affecting the
+        # in-flight dispatch.
+        model, data = self._model_and_data()
+        base = model.get_vector()
+        with ProcessGroupExecutor(
+            model, data, num_processes=1, num_slots=2, **self.HYPER
+        ) as ex:
+            expected = ex.run_group([0, 1], base, round_index=1).copy()
+            scratch = base.copy()
+            fut = ex.submit_group([0, 1], scratch, round_index=1)
+            scratch[:] = 1e9  # caller-side mutation after submit
+            assert np.array_equal(fut.result(), expected)
+            fut.release()
+
+    def test_slot_exhaustion_raises_and_release_recovers(self):
+        model, data = self._model_and_data()
+        base = model.get_vector()
+        with ProcessGroupExecutor(
+            model, data, num_processes=1, num_slots=1, **self.HYPER
+        ) as ex:
+            fut = ex.submit_group([0, 1], base, round_index=1)
+            with pytest.raises(RuntimeError, match="free arena slot"):
+                ex.submit_group([2, 3], base, round_index=1)
+            fut.result()
+            fut.release()
+            fut2 = ex.submit_group([2, 3], base, round_index=1)
+            fut2.discard()
+
+    def test_discard_is_idempotent_and_frees_slot(self):
+        model, data = self._model_and_data()
+        base = model.get_vector()
+        with ProcessGroupExecutor(
+            model, data, num_processes=1, num_slots=1, **self.HYPER
+        ) as ex:
+            fut = ex.submit_group([0, 1], base, round_index=1)
+            fut.discard()
+            fut.discard()
+            assert ex.free_slots == 1
+
+
+# ----------------------------------------------------------------------
+# Trainer-level determinism (the full pipelined Air-FedGA event loop)
+# ----------------------------------------------------------------------
+class TestPipelinedTrainerEquivalence:
+    def test_mlp_history_bit_exact_with_hits(self):
+        gv_serial, trace_serial, _ = _run_air_fedga(
+            lr_mnist_config, ParallelismConfig(mode="none"), hidden=16
+        )
+        gv_pipe, trace_pipe, history = _run_air_fedga(
+            lr_mnist_config,
+            ParallelismConfig(mode="processes", num_processes=2, pipeline=True),
+            hidden=16,
+        )
+        assert np.array_equal(gv_serial, gv_pipe)
+        assert trace_serial == trace_pipe
+        # With several same-speed tier groups the lookahead is exact:
+        # speculation engages and never needs a recompute.
+        assert history.pipeline_hits > 0
+        assert history.pipeline_recomputes == 0
+
+    def test_cnn_history_bit_exact(self):
+        gv_serial, trace_serial, _ = _run_air_fedga(
+            cnn_mnist_config, ParallelismConfig(mode="none"),
+            num_groups=2, rounds=6, scale=0.1,
+        )
+        gv_pipe, trace_pipe, history = _run_air_fedga(
+            cnn_mnist_config,
+            ParallelismConfig(mode="processes", num_processes=2, pipeline=True),
+            num_groups=2, rounds=6, scale=0.1,
+        )
+        assert np.array_equal(gv_serial, gv_pipe)
+        assert trace_serial == trace_pipe
+        assert history.pipeline_hits > 0
+
+    def test_ragged_groups_bit_exact(self):
+        # Label-skew partition with greedy ξ = 0.3 grouping: group sizes and
+        # per-worker batch geometries both vary, exercising the pad_to pin
+        # through the speculative dispatch path.
+        def run(par):
+            cfg = lr_mnist_config(
+                num_workers=10, num_train=190, image_size=8, hidden=16,
+                max_rounds=40,
+            ).scaled(
+                local_steps=2, batch_size=16, eval_every=1, max_eval_samples=48,
+                partition_strategy="label-skew",
+                config=AirFedGAConfig(
+                    grouping=GroupingConfig(xi=0.3), parallelism=par
+                ),
+            )
+            with build_trainer("air_fedga", build_experiment(cfg)) as trainer:
+                assert len(trainer.groups) > 1
+                history = trainer.run(max_rounds=8)
+                return trainer.global_vector.copy(), _record_trace(history), history
+
+        gv_serial, trace_serial, _ = run(ParallelismConfig(mode="none"))
+        gv_pipe, trace_pipe, history = run(
+            ParallelismConfig(
+                mode="processes", num_processes=2, pipeline=True,
+                min_group_size=1,
+            )
+        )
+        assert np.array_equal(gv_serial, gv_pipe)
+        assert trace_serial == trace_pipe
+        assert history.pipeline_hits > 0
+
+    def test_pipeline_counters_serialize_and_round_trip(self):
+        _, _, history = _run_air_fedga(
+            lr_mnist_config,
+            ParallelismConfig(mode="processes", num_processes=2, pipeline=True),
+            hidden=16, rounds=6,
+        )
+        data = history.to_dict()
+        assert data["pipeline_hits"] == history.pipeline_hits
+        from repro.fl.history import TrainingHistory
+
+        back = TrainingHistory.from_dict(data)
+        assert back.pipeline_hits == history.pipeline_hits
+        assert back.pipeline_recomputes == history.pipeline_recomputes
+
+
+# ----------------------------------------------------------------------
+# Speculation invalidation (the recompute fallback)
+# ----------------------------------------------------------------------
+class _LooseLookaheadTrainer(AirFedGATrainer):
+    """Deliberately imperfect lookahead: always speculate on the heap head,
+    even when the committing group re-enters the queue first.  Models a
+    subclass with a stateful/non-deterministic timing override, for which
+    the commit-time validation is the only safety net."""
+
+    def pipeline_lookahead(self, queue, reentry):
+        return queue[0][1] if queue else None
+
+
+class TestSpeculationInvalidation:
+    def _experiment(self, par):
+        # A strongly heterogeneous population (κ up to 60) with tiny greedy
+        # groups: the fastest group laps the slower ones, so the head of
+        # the queue is *not* always the next pop and loose speculation gets
+        # invalidated by the interleaving commit.
+        cfg = lr_mnist_config(
+            num_workers=8, num_train=160, image_size=8, hidden=16,
+            max_rounds=40,
+        ).scaled(
+            local_steps=2, batch_size=16, eval_every=1, max_eval_samples=48,
+            base_local_time=40.0, kappa_min=1.0, kappa_max=60.0,
+            config=AirFedGAConfig(
+                grouping=GroupingConfig(xi=0.1), parallelism=par
+            ),
+        )
+        return build_experiment(cfg)
+
+    def test_invalidated_speculation_recomputes_in_event_order(self):
+        with AirFedGATrainer(
+            self._experiment(ParallelismConfig(mode="none"))
+        ) as serial:
+            serial_history = serial.run(max_rounds=15)
+            gv_serial = serial.global_vector.copy()
+        with _LooseLookaheadTrainer(
+            self._experiment(
+                ParallelismConfig(
+                    mode="processes", num_processes=2, pipeline=True,
+                    min_group_size=1,
+                )
+            )
+        ) as pipe:
+            pipe_history = pipe.run(max_rounds=15)
+            gv_pipe = pipe.global_vector.copy()
+        # The loose lookahead must have been wrong at least once...
+        assert pipe_history.pipeline_recomputes > 0
+        assert pipe_history.pipeline_hits > 0
+        # ...and the recompute fallback restored event order exactly.
+        assert np.array_equal(gv_serial, gv_pipe)
+        assert _record_trace(serial_history) == _record_trace(pipe_history)
+
+    def test_exact_lookahead_skips_doomed_speculation(self):
+        # The default lookahead sees the re-entry sorting before the head
+        # and skips speculation instead of wasting a dispatch.
+        with AirFedGATrainer(
+            self._experiment(
+                ParallelismConfig(
+                    mode="processes", num_processes=2, pipeline=True,
+                    min_group_size=1,
+                )
+            )
+        ) as trainer:
+            history = trainer.run(max_rounds=15)
+            assert history.pipeline_recomputes == 0
+            assert history.pipeline_hits > 0
+
+
+# ----------------------------------------------------------------------
+# Benchmark-tier guard
+# ----------------------------------------------------------------------
+class TestPipelineBenchGuard:
+    def test_refuses_parallelism_none(self):
+        with pytest.raises(ValueError, match="serial"):
+            bench_grouped_round_pipeline(10, parallelism="none")
+
+    def test_refuses_silent_serial_fallback(self, monkeypatch):
+        from repro.fl.base import BaseTrainer
+
+        monkeypatch.setattr(BaseTrainer, "parallel_executor", lambda self: None)
+        with pytest.raises(RuntimeError, match="mislabeled"):
+            bench_grouped_round_pipeline(
+                10, rounds_per_group=1, repeats=1, num_processes=1
+            )

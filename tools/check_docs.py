@@ -1,31 +1,45 @@
 #!/usr/bin/env python
-"""Documentation checker: link integrity + executable examples.
+"""Documentation checker: link integrity + executable examples + API coverage.
 
-Mirrored by ``make docs-check`` and the CI ``docs`` job.  Two passes over
-``README.md`` and ``docs/*.md``:
+Mirrored by ``make docs-check`` and the CI ``docs`` job.  Three passes:
 
-1. **link check** — every relative markdown link must point at an
-   existing file (anchors are validated against the target's headings,
-   GitHub-style slugs); external ``http(s)``/``mailto`` links are only
-   syntax-checked, never fetched, so the job works offline;
+1. **link check** (``README.md`` + ``docs/*.md``) — every relative
+   markdown link must point at an existing file (anchors are validated
+   against the target's headings, GitHub-style slugs); external
+   ``http(s)``/``mailto`` links are only syntax-checked, never fetched,
+   so the job works offline;
 2. **doctest** — every file containing ``>>>`` examples is run through
    :mod:`doctest` (``python -m doctest`` semantics), so the fenced
-   examples in ``docs/API.md`` are executed against the live library and
-   cannot drift from the code.
+   examples in ``docs/API.md`` and ``docs/TUTORIAL.md`` are executed
+   against the live library and cannot drift from the code;
+3. **API coverage** — every symbol exported (``__all__``) from the public
+   packages listed in :data:`API_COVERAGE_MODULES` must be mentioned in
+   ``docs/API.md``, so a PR that adds an entry point without documenting
+   it fails CI.
 
 Exit status is non-zero on any failure; run from the repo root with
-``PYTHONPATH=src`` (the Makefile exports it).
+``PYTHONPATH=src`` (the Makefile exports it; a fallback below inserts
+``src/`` when invoked directly).
 """
 
 from __future__ import annotations
 
 import doctest
+import importlib
 import re
 import sys
 from pathlib import Path
 from typing import List, Tuple
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Allow `python tools/check_docs.py` without an exported PYTHONPATH.
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: Public packages whose ``__all__`` exports must all appear in
+#: ``docs/API.md`` (the curated index of entry points).
+API_COVERAGE_MODULES = ("repro.fl", "repro.parallel", "repro.core")
 
 #: ``[text](target)`` — excludes images' leading ``!`` only in reporting;
 #: image targets are checked like any other link.
@@ -84,6 +98,36 @@ def run_doctests(path: Path) -> Tuple[int, int]:
     return result.failed, result.attempted
 
 
+def check_api_coverage(api_doc: Path) -> List[str]:
+    """Every ``__all__`` export of the public packages must be documented.
+
+    A symbol "appears" when it occurs in ``docs/API.md`` as a standalone
+    word (not as a substring of a longer identifier), anywhere — prose,
+    table cell or fenced example.
+    """
+    errors: List[str] = []
+    if not api_doc.exists():
+        return [f"{api_doc.relative_to(REPO_ROOT)}: file missing"]
+    text = api_doc.read_text(encoding="utf-8")
+    for module_name in API_COVERAGE_MODULES:
+        try:
+            module = importlib.import_module(module_name)
+        except Exception as exc:  # pragma: no cover - import environment issue
+            errors.append(f"cannot import {module_name}: {exc}")
+            continue
+        exported = getattr(module, "__all__", None)
+        if not exported:
+            errors.append(f"{module_name} defines no __all__ to check")
+            continue
+        for name in exported:
+            if not re.search(rf"(?<![\w.]){re.escape(name)}(?!\w)", text):
+                errors.append(
+                    f"{api_doc.relative_to(REPO_ROOT)}: {module_name}.{name} "
+                    "is exported but undocumented"
+                )
+    return errors
+
+
 def main() -> int:
     failures = 0
     for path in doc_files():
@@ -99,6 +143,15 @@ def main() -> int:
             f"{status:4s} {rel}  (links checked, {attempted} doctest "
             f"example{'s' if attempted != 1 else ''}, {failed} failed)"
         )
+    coverage_errors = check_api_coverage(REPO_ROOT / "docs" / "API.md")
+    for err in coverage_errors:
+        print(f"API  FAIL  {err}")
+    failures += len(coverage_errors)
+    modules = ", ".join(API_COVERAGE_MODULES)
+    print(
+        f"{'ok' if not coverage_errors else 'FAIL':4s} API coverage "
+        f"({modules}): {len(coverage_errors)} missing"
+    )
     if failures:
         print(f"\ndocs check failed: {failures} problem(s)")
         return 1
