@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-fast test-ci lint bench bench-quick docs-check ci
+.PHONY: test test-fast test-ci lint bench bench-quick docs-check sweep-smoke ci
 
 test:            ## full tier-1 suite (tests/ + benchmarks/)
 	$(PYTHON) -m pytest -x -q
@@ -21,7 +21,10 @@ bench:           ## perf suite (scalar reference vs vectorized engine), appends 
 bench-quick:     ## smaller/faster perf smoke run (the CI bench-smoke job); writes BENCH_smoke.json (gitignored) so the committed BENCH_perf_v1.json trajectory stays curated
 	$(PYTHON) -m repro.experiments bench --label smoke --quick
 
-docs-check:      ## link-check docs/*.md + README, run doctest on their fenced examples, and check docs/API.md covers every repro.fl/parallel/core export (the CI docs job)
+docs-check:      ## link-check docs/*.md + README, run doctest on their fenced examples, and check docs/API.md covers every repro.fl/parallel/core/registry/scenario/sweep export (the CI docs job)
 	$(PYTHON) tools/check_docs.py
 
-ci: lint test-ci bench-quick docs-check  ## reproduce the full CI pipeline locally
+sweep-smoke:     ## 2-point scenario grid on the synthetic dataset (the CI sweep-smoke job); streams per-run summaries to results/sweep_smoke.jsonl
+	$(PYTHON) -m repro.experiments sweep examples/sweep_smoke.json --output results/sweep_smoke.jsonl
+
+ci: lint test-ci bench-quick docs-check sweep-smoke  ## reproduce the full CI pipeline locally

@@ -18,11 +18,16 @@ groups update the global model asynchronously.  This package contains:
 * :mod:`repro.fl` -- runnable trainers for Air-FedGA and the four baselines
   (FedAvg, TiFL, Air-FedAvg, Dynamic);
 * :mod:`repro.experiments` -- the harness reproducing every table and figure
-  of the paper's evaluation section.
+  of the paper's evaluation section, plus the declarative
+  :class:`~repro.experiments.scenario.Scenario` spec and concurrent
+  :class:`~repro.experiments.sweep.SweepRunner` grid sweeps;
+* :mod:`repro.registry` -- the generic component registry (datasets,
+  partitioners, channels, latency models, mechanisms, models by name)
+  behind the Scenario API.
 """
 
-from . import channel, core, data, fl, nn, sim
+from . import channel, core, data, fl, nn, registry, sim
 
 __version__ = "1.0.0"
 
-__all__ = ["channel", "core", "data", "fl", "nn", "sim", "__version__"]
+__all__ = ["channel", "core", "data", "fl", "nn", "registry", "sim", "__version__"]

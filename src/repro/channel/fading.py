@@ -21,6 +21,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..registry import get as _get_component
+from ..registry import register as _register
+
 __all__ = ["ChannelModel", "RayleighFading", "StaticChannel", "build_channel"]
 
 
@@ -40,6 +43,7 @@ class ChannelModel:
         raise NotImplementedError
 
 
+@_register("channel", "rayleigh")
 @dataclass
 class RayleighFading(ChannelModel):
     """Rayleigh block-fading with per-worker average path gain.
@@ -99,6 +103,7 @@ class RayleighFading(ChannelModel):
         return np.maximum(gains, 1e-3 * self._avg_gain)
 
 
+@_register("channel", "static")
 @dataclass
 class StaticChannel(ChannelModel):
     """Constant per-worker channel gains (no fading)."""
@@ -136,9 +141,10 @@ def build_channel(
     seed: int = 0,
     **kwargs,
 ) -> ChannelModel:
-    """Factory for channel models (``"rayleigh"`` or ``"static"``)."""
-    if kind == "rayleigh":
-        return RayleighFading(num_workers=num_workers, seed=seed, **kwargs)
-    if kind == "static":
-        return StaticChannel(num_workers=num_workers, seed=seed, **kwargs)
-    raise KeyError(f"unknown channel kind {kind!r}; use 'rayleigh' or 'static'")
+    """Factory for channel models (``"rayleigh"`` or ``"static"``).
+
+    Unknown kinds raise :class:`~repro.registry.UnknownComponentError`
+    (a ``KeyError``) with close-match suggestions.
+    """
+    cls = _get_component("channel", kind)
+    return cls(num_workers=num_workers, seed=seed, **kwargs)

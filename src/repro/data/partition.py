@@ -18,6 +18,8 @@ from typing import Dict, List
 
 import numpy as np
 
+from ..registry import get as _get_component
+from ..registry import register as _register
 from .synthetic import Dataset
 
 __all__ = [
@@ -134,6 +136,7 @@ class Partition:
 # ----------------------------------------------------------------------
 # Partition strategies
 # ----------------------------------------------------------------------
+@_register("partitioner", "iid")
 def partition_iid(
     dataset: Dataset, num_workers: int, seed: int = 0
 ) -> Partition:
@@ -151,6 +154,7 @@ def partition_iid(
     )
 
 
+@_register("partitioner", "label-skew")
 def partition_label_skew(
     dataset: Dataset,
     num_workers: int,
@@ -234,6 +238,7 @@ def partition_label_skew(
     )
 
 
+@_register("partitioner", "dirichlet")
 def partition_dirichlet(
     dataset: Dataset,
     num_workers: int,
@@ -289,6 +294,8 @@ def partition_dirichlet(
     )
 
 
+#: Deprecation shim: the ``"partitioner"`` kind now lives in
+#: :mod:`repro.registry`; this dict mirrors it for legacy callers.
 PARTITIONERS = {
     "iid": partition_iid,
     "label-skew": partition_label_skew,
@@ -299,12 +306,10 @@ PARTITIONERS = {
 def make_partition(
     strategy: str, dataset: Dataset, num_workers: int, seed: int = 0, **kwargs
 ) -> Partition:
-    """Build a partition by strategy name (``iid``/``label-skew``/``dirichlet``)."""
-    try:
-        fn = PARTITIONERS[strategy]
-    except KeyError as exc:
-        raise KeyError(
-            f"unknown partition strategy {strategy!r}; "
-            f"available: {sorted(PARTITIONERS)}"
-        ) from exc
+    """Build a partition by strategy name (``iid``/``label-skew``/``dirichlet``).
+
+    Unknown strategies raise :class:`~repro.registry.UnknownComponentError`
+    (a ``KeyError``) with close-match suggestions.
+    """
+    fn = _get_component("partitioner", strategy)
     return fn(dataset, num_workers, seed=seed, **kwargs)

@@ -23,6 +23,9 @@ from typing import Tuple
 
 import numpy as np
 
+from ..registry import get as _get_component
+from ..registry import register as _register
+
 __all__ = [
     "Dataset",
     "SyntheticImageConfig",
@@ -170,6 +173,7 @@ def make_synthetic_images(config: SyntheticImageConfig, name: str) -> Dataset:
     )
 
 
+@_register("dataset", "synthetic-mnist")
 def make_mnist_like(
     num_train: int = 2000,
     num_test: int = 400,
@@ -188,6 +192,7 @@ def make_mnist_like(
     return make_synthetic_images(cfg, "synthetic-mnist")
 
 
+@_register("dataset", "synthetic-cifar10")
 def make_cifar10_like(
     num_train: int = 2000,
     num_test: int = 400,
@@ -212,6 +217,7 @@ def make_cifar10_like(
     return make_synthetic_images(cfg, "synthetic-cifar10")
 
 
+@_register("dataset", "synthetic-imagenet100")
 def make_imagenet100_like(
     num_train: int = 3000,
     num_test: int = 500,
@@ -237,6 +243,8 @@ def make_imagenet100_like(
     return make_synthetic_images(cfg, "synthetic-imagenet100")
 
 
+#: Deprecation shim: the ``"dataset"`` kind now lives in
+#: :mod:`repro.registry`; this dict mirrors it for legacy callers.
 DATASET_REGISTRY = {
     "synthetic-mnist": make_mnist_like,
     "synthetic-cifar10": make_cifar10_like,
@@ -245,11 +253,9 @@ DATASET_REGISTRY = {
 
 
 def load_dataset(name: str, **kwargs) -> Dataset:
-    """Load a dataset by registry name."""
-    try:
-        factory = DATASET_REGISTRY[name]
-    except KeyError as exc:
-        raise KeyError(
-            f"unknown dataset {name!r}; available: {sorted(DATASET_REGISTRY)}"
-        ) from exc
-    return factory(**kwargs)
+    """Load a dataset by registry name.
+
+    Unknown names raise :class:`~repro.registry.UnknownComponentError`
+    (a ``KeyError``) with close-match suggestions.
+    """
+    return _get_component("dataset", name)(**kwargs)

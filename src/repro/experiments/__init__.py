@@ -9,6 +9,8 @@ from .configs import (
     vgg_imagenet100_config,
 )
 from .runner import ExperimentRun, build_experiment, run_comparison, run_mechanism
+from .scenario import ComponentSpec, DataSpec, Scenario, TimingSpec, TrainingSpec
+from .sweep import SweepRunner, expand_grid, sweep_axes, sweep_points
 from .figures import (
     ALL_MECHANISMS,
     AIRCOMP_MECHANISMS,
@@ -40,6 +42,15 @@ __all__ = [
     "build_experiment",
     "run_mechanism",
     "run_comparison",
+    "Scenario",
+    "ComponentSpec",
+    "DataSpec",
+    "TimingSpec",
+    "TrainingSpec",
+    "SweepRunner",
+    "expand_grid",
+    "sweep_axes",
+    "sweep_points",
     "loss_accuracy_vs_time",
     "grouping_boxplot_data",
     "xi_sweep",

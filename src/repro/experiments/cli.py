@@ -164,6 +164,25 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--output-dir", default=".")
     bench_p.add_argument("--quick", action="store_true")
     bench_p.add_argument("--workers", type=int, nargs="+", default=[10, 50, 200])
+
+    sweep_p = sub.add_parser(
+        "sweep",
+        help="expand a scenario-grid JSON spec (list-valued fields are sweep "
+        "axes) and run every point concurrently, streaming JSONL summaries",
+    )
+    sweep_p.add_argument("spec", help="path to the sweep spec (Scenario JSON)")
+    sweep_p.add_argument(
+        "--output", "-o", default="sweep_results.jsonl",
+        help="JSONL results file, one row per completed run",
+    )
+    sweep_p.add_argument(
+        "--max-workers", type=int, default=None,
+        help="process-pool size (default: min(grid size, cpu count))",
+    )
+    sweep_p.add_argument(
+        "--serial", action="store_true",
+        help="run grid points in-process instead of on a process pool",
+    )
     return parser
 
 
@@ -207,6 +226,46 @@ def _command_compare(args: argparse.Namespace) -> str:
     )
 
 
+def _command_sweep(args: argparse.Namespace) -> str:
+    from .sweep import SweepRunner, sweep_axes
+
+    spec = json.loads(Path(args.spec).read_text())
+    axes = sweep_axes(spec)
+    runner = SweepRunner(
+        spec,
+        output=args.output,
+        max_workers=args.max_workers,
+        mode="serial" if args.serial else "processes",
+    )
+    print(
+        f"sweep: {len(runner)} run(s) over {len(axes)} axis(es) "
+        f"{sorted(axes) if axes else ''} -> {args.output}"
+    )
+    rows = runner.run()
+    table_rows = []
+    for row in rows:
+        if "error" in row:
+            table_rows.append(
+                (row["scenario"], row.get("mechanism", "?"), "-", "-", row["error"])
+            )
+            continue
+        summary = row["summary"]
+        table_rows.append(
+            (
+                row["scenario"],
+                row["mechanism"],
+                int(summary["rounds"]),
+                f"{summary['final_accuracy']:.3f}",
+                row["parallelism_mode"],
+            )
+        )
+    return format_table(
+        ["scenario", "mechanism", "rounds", "final acc", "parallelism"],
+        table_rows,
+        title=f"Sweep results ({len(rows)} runs, cpu_count={rows[0]['cpu_count']})",
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point used by ``python -m repro.experiments``."""
     args = build_parser().parse_args(argv)
@@ -221,6 +280,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "compare":
         print(_command_compare(args))
+        return 0
+    if args.command == "sweep":
+        print(_command_sweep(args))
         return 0
     if args.command == "bench":
         from .bench import main as bench_main

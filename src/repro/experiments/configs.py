@@ -16,20 +16,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Optional
 
+from .. import registry
 from ..core.config import AirFedGAConfig
-from ..data.synthetic import (
-    Dataset,
-    make_cifar10_like,
-    make_imagenet100_like,
-    make_mnist_like,
-)
-from ..nn.models import (
-    CifarCNN,
-    LogisticRegressionMLP,
-    MiniVGG,
-    MnistCNN,
-    Model,
-)
+from ..data.synthetic import Dataset
+from ..nn.models import Model
 
 __all__ = [
     "ExperimentConfig",
@@ -82,6 +72,11 @@ class ExperimentConfig:
     latency_model_dimension: Optional[int] = None
     config: AirFedGAConfig = field(default_factory=AirFedGAConfig)
     seed: int = 0
+    #: Channel model (registry kind ``"channel"``): ``"rayleigh"``
+    #: (default, the paper's block fading) or ``"static"``; extra
+    #: constructor parameters go in ``channel_params``.
+    channel_kind: str = "rayleigh"
+    channel_params: Dict[str, float] = field(default_factory=dict)
     #: Local-training execution engine (see :class:`repro.fl.FLExperiment`):
     #: "auto" (vectorized group-batched when supported), "batched", or
     #: "scalar" (the seed's sequential reference path, benchmark baseline).
@@ -107,12 +102,14 @@ def lr_mnist_config(
     input_dim = image_size * image_size
     return ExperimentConfig(
         name="lr_mnist",
-        dataset_factory=lambda: make_mnist_like(
+        dataset_factory=lambda: registry.create(
+            "dataset", "synthetic-mnist",
             num_train=num_train, num_test=max(200, num_train // 5),
             image_size=image_size, seed=seed,
         ),
-        model_factory=lambda: LogisticRegressionMLP(
-            input_dim=input_dim, hidden=hidden, num_classes=10, seed=seed
+        model_factory=lambda: registry.create(
+            "model", "lr",
+            input_dim=input_dim, hidden=hidden, num_classes=10, seed=seed,
         ),
         flatten_inputs=True,
         num_workers=num_workers,
@@ -133,12 +130,14 @@ def cnn_mnist_config(
     """Fig. 4 (and Figs. 8-10 base): CNN on MNIST-shaped data."""
     return ExperimentConfig(
         name="cnn_mnist",
-        dataset_factory=lambda: make_mnist_like(
+        dataset_factory=lambda: registry.create(
+            "dataset", "synthetic-mnist",
             num_train=num_train, num_test=max(200, num_train // 5),
             image_size=image_size, seed=seed,
         ),
-        model_factory=lambda: MnistCNN(
-            image_size=image_size, scale=scale, num_classes=10, seed=seed
+        model_factory=lambda: registry.create(
+            "model", "mnist_cnn",
+            image_size=image_size, scale=scale, num_classes=10, seed=seed,
         ),
         flatten_inputs=False,
         num_workers=num_workers,
@@ -161,12 +160,14 @@ def cnn_cifar10_config(
     """Fig. 5: CNN on CIFAR-10-shaped data (harder, lower accuracy plateau)."""
     return ExperimentConfig(
         name="cnn_cifar10",
-        dataset_factory=lambda: make_cifar10_like(
+        dataset_factory=lambda: registry.create(
+            "dataset", "synthetic-cifar10",
             num_train=num_train, num_test=max(200, num_train // 5),
             image_size=image_size, seed=seed,
         ),
-        model_factory=lambda: CifarCNN(
-            image_size=image_size, scale=scale, num_classes=10, seed=seed
+        model_factory=lambda: registry.create(
+            "model", "cifar_cnn",
+            image_size=image_size, scale=scale, num_classes=10, seed=seed,
         ),
         flatten_inputs=False,
         num_workers=num_workers,
@@ -194,11 +195,13 @@ def vgg_imagenet100_config(
     """
     return ExperimentConfig(
         name="vgg_imagenet100",
-        dataset_factory=lambda: make_imagenet100_like(
+        dataset_factory=lambda: registry.create(
+            "dataset", "synthetic-imagenet100",
             num_train=num_train, num_test=max(200, num_train // 5),
             image_size=image_size, num_classes=num_classes, seed=seed,
         ),
-        model_factory=lambda: MiniVGG(
+        model_factory=lambda: registry.create(
+            "model", "mini_vgg",
             image_size=image_size, num_classes=num_classes,
             base_channels=4, blocks=2, hidden=32, seed=seed,
         ),

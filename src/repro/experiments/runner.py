@@ -6,13 +6,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 
-from ..channel.fading import RayleighFading
-from ..data.partition import (
-    Partition,
-    partition_dirichlet,
-    partition_iid,
-    partition_label_skew,
-)
+from .. import registry
+from ..data.partition import Partition
 from ..data.synthetic import Dataset
 from ..fl.base import FLExperiment
 from ..fl.history import TrainingHistory
@@ -39,24 +34,25 @@ class ExperimentRun:
         }
 
 
+#: Per-strategy keyword arguments sourced from :class:`ExperimentConfig`
+#: fields (the registry builders take them by name).
+_PARTITION_EXTRAS = {
+    "label-skew": lambda config: {"labels_per_worker": config.labels_per_worker},
+    "dirichlet": lambda config: {"alpha": config.dirichlet_alpha},
+}
+
+
 def _build_partition(config: ExperimentConfig, dataset: Dataset) -> Partition:
-    if config.partition_strategy == "label-skew":
-        return partition_label_skew(
-            dataset,
-            num_workers=config.num_workers,
-            labels_per_worker=config.labels_per_worker,
-            seed=config.seed,
-        )
-    if config.partition_strategy == "iid":
-        return partition_iid(dataset, num_workers=config.num_workers, seed=config.seed)
-    if config.partition_strategy == "dirichlet":
-        return partition_dirichlet(
-            dataset,
-            num_workers=config.num_workers,
-            alpha=config.dirichlet_alpha,
-            seed=config.seed,
-        )
-    raise KeyError(f"unknown partition strategy {config.partition_strategy!r}")
+    """Build the configured partition via the ``"partitioner"`` registry.
+
+    Unknown strategies raise :class:`~repro.registry.UnknownComponentError`
+    (a ``KeyError``) with close-match suggestions.
+    """
+    builder = registry.get("partitioner", config.partition_strategy)
+    extras = _PARTITION_EXTRAS.get(config.partition_strategy, lambda _: {})(config)
+    return builder(
+        dataset, num_workers=config.num_workers, seed=config.seed, **extras
+    )
 
 
 def build_experiment(config: ExperimentConfig) -> FLExperiment:
@@ -77,7 +73,13 @@ def build_experiment(config: ExperimentConfig) -> FLExperiment:
         heterogeneity=heterogeneity,
         seed=config.seed + 2,
     )
-    channel = RayleighFading(num_workers=config.num_workers, seed=config.seed + 3)
+    channel = registry.create(
+        "channel",
+        config.channel_kind,
+        num_workers=config.num_workers,
+        seed=config.seed + 3,
+        **config.channel_params,
+    )
     return FLExperiment(
         dataset=dataset,
         partition=partition,

@@ -1,0 +1,497 @@
+"""Declarative, serializable experiment specifications.
+
+A :class:`Scenario` is a single typed document describing *everything*
+about one federated-training simulation: the dataset, its Non-IID
+partition, the wireless channel, the edge-heterogeneity timing model, the
+mechanism, the training budget and the execution parallelism.  Every
+component is named in the generic registry (:mod:`repro.registry`), so
+``Scenario.from_dict(json.load(f)).build().run(...)`` fully reproduces a
+run from one JSON blob — no code edits, no hand-wired factories.
+
+Compared to the legacy :class:`~repro.experiments.configs.ExperimentConfig`
+(which carries opaque ``dataset_factory``/``model_factory`` callables and
+is therefore not serializable), a ``Scenario``
+
+* round-trips: ``Scenario.from_dict(s.to_dict()) == s``;
+* validates at construction: unknown component names raise
+  :class:`~repro.registry.UnknownComponentError` with did-you-mean
+  suggestions, unknown mechanism parameters raise ``TypeError`` listing
+  the accepted names, unknown section fields raise ``ValueError``;
+* builds: :meth:`Scenario.build` returns a ready-to-run trainer and
+  :meth:`Scenario.run` executes it under the scenario's budget;
+* composes fluently: ``Scenario.default().with_(mechanism="fedavg",
+  **{"timing.base_local_time": 2.0})``.
+
+Seed discipline matches :func:`repro.experiments.build_experiment`
+exactly (heterogeneity ``seed+1``, latency jitter ``seed+2``, channel
+``seed+3``), so a scenario-built run is bit-identical (float64) to the
+same run wired through the legacy ``ExperimentConfig`` path — enforced by
+``tests/experiments/test_scenario.py``.
+
+Grid sweeps over scenarios (list-valued fields → cross product) are run
+by :mod:`repro.experiments.sweep`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import typing
+from dataclasses import asdict, dataclass, field, replace
+from pathlib import Path
+from typing import Any, Callable, Dict, Mapping, Optional
+
+from .. import registry
+from ..core.config import AirFedGAConfig, ParallelismConfig
+from ..fl.base import BaseTrainer, FLExperiment
+from ..fl.history import TrainingHistory
+from ..fl.registry import build_trainer
+
+__all__ = [
+    "ComponentSpec",
+    "DataSpec",
+    "TimingSpec",
+    "TrainingSpec",
+    "Scenario",
+]
+
+
+def _jsonify(value: Any) -> Any:
+    """Normalize params to JSON-native containers (tuples → lists).
+
+    Keeps dataclass equality meaningful across a JSON round-trip: a spec
+    constructed with a tuple and the same spec re-read from JSON (where
+    the tuple came back as a list) compare equal.
+    """
+    if isinstance(value, tuple):
+        return [_jsonify(v) for v in value]
+    if isinstance(value, list):
+        return [_jsonify(v) for v in value]
+    if isinstance(value, Mapping):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    return value
+
+
+def _dataclass_from_dict(cls: type, data: Mapping[str, Any], context: str) -> Any:
+    """Reconstruct a (possibly nested) dataclass from a plain mapping.
+
+    Unknown keys raise ``ValueError`` with close-match suggestions, so a
+    typo'd field in a hand-written JSON spec fails loudly instead of
+    being silently dropped.
+    """
+    if not isinstance(data, Mapping):
+        raise ValueError(f"{context} must be a mapping, got {type(data).__name__}")
+    field_map = {f.name: f for f in dataclasses.fields(cls) if f.init}
+    unknown = sorted(set(data) - set(field_map))
+    if unknown:
+        hints = registry._close_matches(unknown[0], list(field_map))
+        suffix = f"; did you mean {hints[0]!r}?" if hints else ""
+        raise ValueError(
+            f"{context} has unknown field(s) {unknown}{suffix} "
+            f"(accepted: {sorted(field_map)})"
+        )
+    types = typing.get_type_hints(cls)
+    kwargs: Dict[str, Any] = {}
+    for name, value in data.items():
+        target = types.get(name)
+        if dataclasses.is_dataclass(target) and isinstance(value, Mapping):
+            value = _dataclass_from_dict(target, value, f"{context}.{name}")
+        kwargs[name] = value
+    return cls(**kwargs)
+
+
+@dataclass
+class ComponentSpec:
+    """A registry component reference: a name plus constructor parameters."""
+
+    name: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ValueError(f"component name must be a non-empty string, got {self.name!r}")
+        if not isinstance(self.params, Mapping):
+            raise ValueError(
+                f"component params must be a mapping, got {type(self.params).__name__}"
+            )
+        self.params = _jsonify(dict(self.params))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "params": dict(self.params)}
+
+    @classmethod
+    def coerce(cls, value: Any, context: str) -> "ComponentSpec":
+        """Accept a ``ComponentSpec``, a bare name string, or a mapping."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            return cls(name=value)
+        if isinstance(value, Mapping):
+            return _dataclass_from_dict(cls, value, context)
+        raise ValueError(
+            f"{context} must be a component name, mapping or {cls.__name__}, "
+            f"got {type(value).__name__}"
+        )
+
+
+@dataclass
+class DataSpec(ComponentSpec):
+    """The dataset section: a registered dataset plus the flatten switch."""
+
+    name: str = "synthetic-mnist"
+    flatten: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "params": dict(self.params), "flatten": self.flatten}
+
+
+@dataclass
+class TimingSpec:
+    """The timing section: compute latency and edge heterogeneity.
+
+    ``latency`` names a registered latency builder (kind ``"latency"``:
+    ``"uniform"`` for the paper's κ ~ U[κ_min, κ_max] model,
+    ``"homogeneous"`` for κ = 1).  ``base_local_time`` is the raw
+    per-update time ``l̂_i`` in seconds; ``jitter_std`` adds optional
+    per-round multiplicative jitter (the paper's model has none).
+    """
+
+    latency: str = "uniform"
+    base_local_time: float = 6.0
+    kappa_min: float = 1.0
+    kappa_max: float = 10.0
+    jitter_std: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.base_local_time <= 0:
+            raise ValueError("base_local_time must be positive")
+        if self.jitter_std < 0:
+            raise ValueError("jitter_std must be non-negative")
+
+
+@dataclass
+class TrainingSpec:
+    """The training section: SGD hyper-parameters and the run budget."""
+
+    learning_rate: float = 0.1
+    local_steps: int = 2
+    batch_size: int = 32
+    max_rounds: int = 60
+    max_time: Optional[float] = None
+    eval_every: int = 1
+    max_eval_samples: int = 256
+    latency_model_dimension: Optional[int] = None
+    engine: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.max_rounds < 1:
+            raise ValueError("max_rounds must be >= 1")
+        if self.max_time is not None and self.max_time <= 0:
+            raise ValueError("max_time must be positive when given")
+        # learning_rate/local_steps/batch_size/eval_every/max_eval_samples/
+        # engine are re-validated by FLExperiment at build time; checking
+        # the run budget here catches spec typos before any data is built.
+
+
+@dataclass
+class Scenario:
+    """A complete, serializable specification of one simulation run.
+
+    Sections
+    --------
+    ``data``/``model``/``partition``/``channel``/``mechanism``
+        Registry component references (:class:`ComponentSpec`): a name in
+        the corresponding registry kind plus constructor parameters.
+    ``timing``
+        The latency/heterogeneity model (:class:`TimingSpec`).
+    ``training``
+        SGD hyper-parameters and the run budget (:class:`TrainingSpec`).
+    ``algorithm``
+        The :class:`~repro.core.config.AirFedGAConfig` core-algorithm
+        settings (AirComp physical layer, grouping ξ, convergence
+        constants, dtype).  Its ``parallelism`` sub-config is *owned by
+        the scenario's own* ``parallelism`` *section* and normalized to
+        the default here; set parallelism on the scenario, not inside
+        ``algorithm``.
+    ``parallelism``
+        The :class:`~repro.core.config.ParallelismConfig` execution mode.
+
+    ``num_workers`` and ``seed`` are top-level because nearly every
+    section consumes them; the component builders receive them
+    automatically (datasets/models get ``seed``, partitions/channels/
+    timing get ``num_workers`` plus the derived seeds ``seed+1``..
+    ``seed+3`` matching :func:`repro.experiments.build_experiment`).
+    """
+
+    name: str = "scenario"
+    num_workers: int = 20
+    seed: int = 0
+    data: DataSpec = field(default_factory=DataSpec)
+    model: ComponentSpec = field(default_factory=lambda: ComponentSpec("lr"))
+    partition: ComponentSpec = field(default_factory=lambda: ComponentSpec("label-skew"))
+    channel: ComponentSpec = field(default_factory=lambda: ComponentSpec("rayleigh"))
+    timing: TimingSpec = field(default_factory=TimingSpec)
+    mechanism: ComponentSpec = field(default_factory=lambda: ComponentSpec("air_fedga"))
+    training: TrainingSpec = field(default_factory=TrainingSpec)
+    algorithm: AirFedGAConfig = field(default_factory=AirFedGAConfig)
+    parallelism: ParallelismConfig = field(default_factory=ParallelismConfig)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if self.seed < 0:
+            raise ValueError("seed must be non-negative")
+        if isinstance(self.data, Mapping):
+            self.data = _dataclass_from_dict(DataSpec, self.data, "scenario.data")
+        elif isinstance(self.data, str):
+            self.data = DataSpec(name=self.data)
+        elif not isinstance(self.data, DataSpec):
+            raise ValueError(
+                "scenario.data must be a dataset name, mapping or DataSpec, "
+                f"got {type(self.data).__name__}"
+            )
+        self.model = ComponentSpec.coerce(self.model, "scenario.model")
+        self.partition = ComponentSpec.coerce(self.partition, "scenario.partition")
+        self.channel = ComponentSpec.coerce(self.channel, "scenario.channel")
+        self.mechanism = ComponentSpec.coerce(self.mechanism, "scenario.mechanism")
+        if isinstance(self.timing, Mapping):
+            self.timing = _dataclass_from_dict(TimingSpec, self.timing, "scenario.timing")
+        if isinstance(self.training, Mapping):
+            self.training = _dataclass_from_dict(
+                TrainingSpec, self.training, "scenario.training"
+            )
+        if isinstance(self.algorithm, Mapping):
+            self.algorithm = _dataclass_from_dict(
+                AirFedGAConfig, self.algorithm, "scenario.algorithm"
+            )
+        if isinstance(self.parallelism, Mapping):
+            self.parallelism = _dataclass_from_dict(
+                ParallelismConfig, self.parallelism, "scenario.parallelism"
+            )
+        # Parallelism lives in its own section; normalize the copy nested
+        # inside the algorithm config so equality and serialization have
+        # one source of truth.
+        if self.algorithm.parallelism != ParallelismConfig():
+            raise ValueError(
+                "set execution parallelism on scenario.parallelism, not inside "
+                "scenario.algorithm.parallelism (the nested copy is ignored)"
+            )
+        # Component names must resolve now, not at build time: a typo'd
+        # spec fails at construction with did-you-mean suggestions.
+        registry.get("dataset", self.data.name)
+        registry.get("model", self.model.name)
+        registry.get("partitioner", self.partition.name)
+        registry.get("channel", self.channel.name)
+        registry.get("latency", self.timing.latency)
+        trainer_cls = registry.get("mechanism", self.mechanism.name)
+        registry.check_kwargs(
+            trainer_cls,
+            dict(self.mechanism.params),
+            context=f"mechanism {self.mechanism.name!r}",
+            exclude=("experiment",),
+        )
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def default(cls) -> "Scenario":
+        """A small, fast baseline scenario (seconds to run).
+
+        Synthetic-MNIST with the paper's LR model at benchmark-tiny scale,
+        label-skew Non-IID, Rayleigh fading, uniform κ ∈ [1, 10] and the
+        Air-FedGA mechanism.  Meant as the starting point for
+        :meth:`with_` chains and sweeps.
+        """
+        return cls(
+            name="default",
+            num_workers=8,
+            data=DataSpec(
+                name="synthetic-mnist",
+                params={"num_train": 256, "num_test": 96, "image_size": 8},
+                flatten=True,
+            ),
+            model=ComponentSpec(
+                "lr", {"input_dim": 64, "hidden": 16, "num_classes": 10}
+            ),
+            training=TrainingSpec(max_rounds=8, max_eval_samples=96),
+        )
+
+    def with_(self, **overrides: Any) -> "Scenario":
+        """Return a validated copy with fields overridden.
+
+        Keys are scenario fields; nested fields use dotted paths (passed
+        via ``**{...}`` unpacking).  Section values may be mappings
+        (shallow-merged into the section) or, for component sections, a
+        bare name string (replacing the component and resetting its
+        params)::
+
+            s = Scenario.default().with_(
+                num_workers=16,
+                mechanism="tifl",                         # name, params reset
+                data={"flatten": True},                   # shallow merge
+                **{"timing.base_local_time": 2.0},        # dotted leaf
+                **{"mechanism.params": {"num_tiers": 3}},  # dotted section
+            )
+        """
+        spec = self.to_dict()
+        top_level = set(spec)
+        for key, value in overrides.items():
+            parts = key.split(".")
+            if parts[0] not in top_level:
+                hints = registry._close_matches(parts[0], top_level)
+                suffix = f"; did you mean {hints[0]!r}?" if hints else ""
+                raise ValueError(f"unknown scenario field {parts[0]!r}{suffix}")
+            node: Dict[str, Any] = spec
+            for part in parts[:-1]:
+                nxt = node.get(part)
+                if not isinstance(nxt, dict):
+                    raise ValueError(
+                        f"cannot descend into {key!r}: {part!r} is not a section"
+                    )
+                node = nxt
+            leaf = parts[-1]
+            current = node.get(leaf)
+            if isinstance(current, dict) and isinstance(value, str) and "name" in current:
+                # Component shorthand: replace the name, reset the params.
+                node[leaf] = {**current, "name": value, "params": {}}
+            elif isinstance(current, dict) and isinstance(value, Mapping):
+                node[leaf] = {**current, **value}
+            else:
+                node[leaf] = value
+        return Scenario.from_dict(spec)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serializable document fully describing this scenario."""
+        algorithm = asdict(self.algorithm)
+        # Parallelism is its own top-level section (see class docstring).
+        algorithm.pop("parallelism", None)
+        return {
+            "name": self.name,
+            "num_workers": self.num_workers,
+            "seed": self.seed,
+            "data": self.data.to_dict(),
+            "model": self.model.to_dict(),
+            "partition": self.partition.to_dict(),
+            "channel": self.channel.to_dict(),
+            "timing": asdict(self.timing),
+            "mechanism": self.mechanism.to_dict(),
+            "training": asdict(self.training),
+            "algorithm": algorithm,
+            "parallelism": asdict(self.parallelism),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Scenario":
+        """Inverse of :meth:`to_dict`; missing sections take their defaults."""
+        return _dataclass_from_dict(cls, data, "scenario")
+
+    def to_json(self, path: str | Path | None = None, indent: int = 2) -> str:
+        """Serialize to JSON text, optionally writing it to ``path``."""
+        text = json.dumps(self.to_dict(), indent=indent)
+        if path is not None:
+            Path(path).write_text(text + "\n")
+        return text
+
+    @classmethod
+    def from_json(cls, source: str | Path) -> "Scenario":
+        """Load from a JSON file path or a JSON text string."""
+        if isinstance(source, Path) or (
+            isinstance(source, str) and not source.lstrip().startswith("{")
+        ):
+            text = Path(source).read_text()
+        else:
+            text = source
+        return cls.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------------
+    # Building and running
+    # ------------------------------------------------------------------
+    def _model_factory(self) -> Callable[[], Any]:
+        name = self.model.name
+        params = {"seed": self.seed, **self.model.params}
+        return lambda: registry.create("model", name, **params)
+
+    def build_experiment(self) -> FLExperiment:
+        """Materialize the :class:`~repro.fl.FLExperiment` this spec describes.
+
+        Seed discipline is identical to the legacy
+        :func:`repro.experiments.build_experiment`: the dataset and model
+        use ``seed``, the heterogeneity draw ``seed+1``, the latency
+        jitter ``seed+2`` and the channel ``seed+3`` — so a scenario and
+        a hand-wired ``ExperimentConfig`` with the same settings produce
+        bit-identical runs (float64).
+        """
+        dataset = registry.create(
+            "dataset", self.data.name, **{"seed": self.seed, **self.data.params}
+        )
+        if self.data.flatten:
+            dataset = dataset.flattened()
+        partition = registry.create(
+            "partitioner",
+            self.partition.name,
+            dataset,
+            num_workers=self.num_workers,
+            seed=self.seed,
+            **self.partition.params,
+        )
+        latency = registry.create(
+            "latency",
+            self.timing.latency,
+            num_workers=self.num_workers,
+            base_time=self.timing.base_local_time,
+            kappa_min=self.timing.kappa_min,
+            kappa_max=self.timing.kappa_max,
+            jitter_std=self.timing.jitter_std,
+            heterogeneity_seed=self.seed + 1,
+            seed=self.seed + 2,
+        )
+        channel = registry.create(
+            "channel",
+            self.channel.name,
+            num_workers=self.num_workers,
+            seed=self.seed + 3,
+            **self.channel.params,
+        )
+        config = replace(self.algorithm, parallelism=self.parallelism)
+        return FLExperiment(
+            dataset=dataset,
+            partition=partition,
+            model_factory=self._model_factory(),
+            latency=latency,
+            channel=channel,
+            config=config,
+            learning_rate=self.training.learning_rate,
+            local_steps=self.training.local_steps,
+            batch_size=self.training.batch_size,
+            eval_every=self.training.eval_every,
+            max_eval_samples=self.training.max_eval_samples,
+            seed=self.seed,
+            latency_model_dimension=self.training.latency_model_dimension,
+            engine=self.training.engine,
+        )
+
+    def build(self) -> BaseTrainer:
+        """Build the mechanism trainer, ready to ``run()``.
+
+        Trainers are context managers; prefer ``with scenario.build() as
+        trainer:`` when parallelism is enabled so pool resources are
+        released deterministically.
+        """
+        return build_trainer(
+            self.mechanism.name, self.build_experiment(), **self.mechanism.params
+        )
+
+    def run(self) -> TrainingHistory:
+        """Build and run under the scenario's budget; returns the history."""
+        with self.build() as trainer:
+            return trainer.run(
+                max_rounds=self.training.max_rounds,
+                max_time=self.training.max_time,
+            )

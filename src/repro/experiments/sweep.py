@@ -1,0 +1,240 @@
+"""Concurrent scenario-grid sweeps with streamed JSONL results.
+
+A *sweep spec* is a scenario document (:meth:`Scenario.to_dict` shape, or
+any subset of it) in which any scalar leaf may instead hold a **list of
+values**; every list is a sweep axis and the grid is their cross product::
+
+    {
+      "name": "xi-vs-seed",
+      "seed": [0, 1, 2],
+      "algorithm": {"grouping": {"xi": [0.0, 0.3, 1.0]}},
+      ...
+    }
+
+expands to 9 scenarios.  :func:`sweep_axes` lists the axes,
+:func:`expand_grid` materializes the scenarios and :class:`SweepRunner`
+executes them — concurrently on a process pool (scenarios are
+independent simulations, so they parallelize perfectly) — streaming one
+JSON line per completed run to a results file.  Every row carries the
+run's :meth:`~repro.fl.TrainingHistory.summary`, the sweep-axis values
+that produced it, the host ``cpu_count`` and the *resolved* parallelism
+mode (what the trainer actually used, which may be ``"none"`` when a
+requested process pool was unavailable), so results files are
+self-describing for later multi-core analysis.
+
+Exposed on the CLI as ``python -m repro.experiments sweep spec.json``.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+import json
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .scenario import Scenario
+
+__all__ = ["SweepRunner", "expand_grid", "sweep_axes", "sweep_points"]
+
+
+def _find_axes(node: Mapping[str, Any], prefix: str = "") -> List[Tuple[str, List[Any]]]:
+    axes: List[Tuple[str, List[Any]]] = []
+    for key, value in node.items():
+        path = f"{prefix}{key}"
+        if isinstance(value, Mapping):
+            axes.extend(_find_axes(value, prefix=f"{path}."))
+        elif isinstance(value, list):
+            axes.append((path, list(value)))
+    return axes
+
+
+def _set_leaf(node: Dict[str, Any], path: str, value: Any) -> None:
+    parts = path.split(".")
+    for part in parts[:-1]:
+        node = node[part]
+    node[parts[-1]] = value
+
+
+def sweep_axes(spec: Mapping[str, Any]) -> Dict[str, List[Any]]:
+    """The sweep axes of a spec: dotted leaf path → list of values.
+
+    Axis order follows document order, which fixes the expansion order of
+    :func:`expand_grid` (last axis varies fastest).
+    """
+    return dict(_find_axes(spec))
+
+
+def sweep_points(spec: Mapping[str, Any]) -> List[Tuple[Scenario, Dict[str, Any]]]:
+    """Expand a sweep spec into ``(scenario, axis-values)`` grid points.
+
+    Every list-valued leaf becomes an axis; the grid is the cross
+    product.  A spec with no lists yields a single point.  Each scenario
+    is named ``{base}#{i}`` (grid index ``i``) so JSONL rows are
+    distinguishable, and each is validated at construction — a typo
+    anywhere in the spec fails before any run starts.
+    """
+    axes = _find_axes(spec)
+    base_name = str(spec.get("name", "scenario"))
+    points: List[Tuple[Scenario, Dict[str, Any]]] = []
+    value_lists = [values for _, values in axes]
+    for index, combo in enumerate(itertools.product(*value_lists)):
+        doc = copy.deepcopy(dict(spec))
+        overrides = {path: value for (path, _), value in zip(axes, combo)}
+        for path, value in overrides.items():
+            _set_leaf(doc, path, value)
+        doc["name"] = f"{base_name}#{index}" if axes else base_name
+        points.append((Scenario.from_dict(doc), overrides))
+    return points
+
+
+def expand_grid(spec: Mapping[str, Any]) -> List[Scenario]:
+    """The scenarios of a sweep spec's grid (see :func:`sweep_points`)."""
+    return [scenario for scenario, _ in sweep_points(spec)]
+
+
+def _execute_point(index: int, scenario_dict: Dict[str, Any], overrides: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one grid point; returns its JSONL row.  Must stay module-level
+    (and take only JSON-native arguments) so process pools can pickle it.
+    """
+    row: Dict[str, Any] = {
+        "index": index,
+        "scenario": str(scenario_dict.get("name", "scenario")),
+        "overrides": overrides,
+        "cpu_count": os.cpu_count(),
+    }
+    try:
+        # Inside the try: a pool worker re-validates the spec, and e.g. a
+        # component registered only in the parent process must yield an
+        # error row, not abort the sweep.
+        scenario = Scenario.from_dict(scenario_dict)
+        row["mechanism"] = scenario.mechanism.name
+        row["engine"] = scenario.training.engine
+        row["parallelism_configured"] = scenario.parallelism.mode
+        row["pipeline"] = scenario.parallelism.pipeline
+        with scenario.build() as trainer:
+            history = trainer.run(
+                max_rounds=scenario.training.max_rounds,
+                max_time=scenario.training.max_time,
+            )
+            # Resolved *inside* the context: close() tears the pool down.
+            row["parallelism_mode"] = (
+                "processes" if trainer.parallelism_active else "none"
+            )
+        row["summary"] = history.summary()
+        row["pipeline_hits"] = history.pipeline_hits
+        row["pipeline_recomputes"] = history.pipeline_recomputes
+    except Exception as exc:  # one failed point must not sink the sweep
+        row["error"] = f"{type(exc).__name__}: {exc}"
+        row["parallelism_mode"] = row.get("parallelism_mode", "none")
+    return row
+
+
+class SweepRunner:
+    """Expand a scenario grid and execute it, streaming JSONL summaries.
+
+    Parameters
+    ----------
+    spec:
+        A sweep spec mapping (list-valued leaves are axes), or an already
+        expanded sequence of :class:`Scenario` objects.
+    output:
+        Path of the JSONL results file (one row per completed run,
+        written and flushed as runs finish — a crashed sweep keeps every
+        completed row).  ``None`` collects rows in memory only.
+    max_workers:
+        Process-pool size; ``None`` uses ``min(grid size, cpu_count)``.
+    mode:
+        ``"processes"`` (default) runs grid points concurrently on a
+        ``concurrent.futures.ProcessPoolExecutor``; ``"serial"`` runs
+        them in-process (useful under doctest or when the scenarios
+        themselves use ``parallelism.mode="processes"`` — avoid nesting
+        pools).
+    start_method:
+        ``multiprocessing`` start method for the pool (``"fork"``
+        default, matching :class:`~repro.core.config.ParallelismConfig`).
+    """
+
+    def __init__(
+        self,
+        spec: Mapping[str, Any] | Sequence[Scenario],
+        output: str | Path | None = None,
+        max_workers: Optional[int] = None,
+        mode: str = "processes",
+        start_method: str = "fork",
+    ) -> None:
+        if mode not in ("processes", "serial"):
+            raise ValueError(f"mode must be 'processes' or 'serial', got {mode!r}")
+        if start_method not in ("fork", "spawn", "forkserver"):
+            raise ValueError(
+                "start_method must be 'fork', 'spawn' or 'forkserver', "
+                f"got {start_method!r}"
+            )
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1 when given")
+        if isinstance(spec, Mapping):
+            self.points = sweep_points(spec)
+        else:
+            self.points = [(scenario, {}) for scenario in spec]
+        if not self.points:
+            raise ValueError("sweep grid is empty")
+        self.output = Path(output) if output is not None else None
+        self.max_workers = max_workers
+        self.mode = mode
+        self.start_method = start_method
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def run(self) -> List[Dict[str, Any]]:
+        """Execute every grid point; returns the rows ordered by grid index."""
+        payloads = [
+            (index, scenario.to_dict(), overrides)
+            for index, (scenario, overrides) in enumerate(self.points)
+        ]
+        handle = None
+        if self.output is not None:
+            self.output.parent.mkdir(parents=True, exist_ok=True)
+            handle = self.output.open("w")
+        rows: List[Dict[str, Any]] = []
+
+        def emit(row: Dict[str, Any]) -> None:
+            rows.append(row)
+            if handle is not None:
+                handle.write(json.dumps(row) + "\n")
+                handle.flush()
+
+        try:
+            if self.mode == "serial" or len(payloads) == 1:
+                for payload in payloads:
+                    emit(_execute_point(*payload))
+            else:
+                self._run_pool(payloads, emit)
+        finally:
+            if handle is not None:
+                handle.close()
+        return sorted(rows, key=lambda r: r["index"])
+
+    def _run_pool(self, payloads, emit) -> None:
+        import multiprocessing
+
+        workers = self.max_workers or min(len(payloads), os.cpu_count() or 1)
+        workers = min(workers, len(payloads))
+        try:
+            context = multiprocessing.get_context(self.start_method)
+            pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+        except (ValueError, OSError):
+            # Start method unavailable on this platform: degrade to serial
+            # rather than fail the sweep.
+            for payload in payloads:
+                emit(_execute_point(*payload))
+            return
+        with pool:
+            pending = {pool.submit(_execute_point, *payload) for payload in payloads}
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                # Stream rows as runs finish so partial sweeps are useful.
+                for future in done:
+                    emit(future.result())

@@ -1,9 +1,18 @@
-"""Mechanism registry: build any of the five mechanisms by name."""
+"""Mechanism registry: build any of the five mechanisms by name.
+
+Backed by the generic component registry (:mod:`repro.registry`, kind
+``"mechanism"``).  :data:`MECHANISMS` is kept as a thin backward-compat
+view of the registered trainers; new code should prefer
+``repro.registry.get("mechanism", name)`` or a declarative
+:class:`~repro.experiments.scenario.Scenario`.
+"""
 
 from __future__ import annotations
 
 from typing import Callable, Dict
 
+from ..registry import check_kwargs, register
+from .. import registry as _registry
 from .air_fedavg import AirFedAvgTrainer
 from .air_fedga import AirFedGATrainer
 from .base import BaseTrainer, FLExperiment
@@ -13,15 +22,17 @@ from .tifl import TiFLTrainer
 
 __all__ = ["MECHANISMS", "build_trainer"]
 
+register("mechanism", "fedavg")(FedAvgTrainer)
+register("mechanism", "tifl")(TiFLTrainer)
+register("mechanism", "air_fedavg")(AirFedAvgTrainer)
+register("mechanism", "dynamic")(DynamicTrainer)
+register("mechanism", "air_fedga")(AirFedGATrainer)
+
 #: Mapping from mechanism name to trainer class.  The names match the
-#: labels used in the paper's figures.
-MECHANISMS: Dict[str, Callable[..., BaseTrainer]] = {
-    "fedavg": FedAvgTrainer,
-    "tifl": TiFLTrainer,
-    "air_fedavg": AirFedAvgTrainer,
-    "dynamic": DynamicTrainer,
-    "air_fedga": AirFedGATrainer,
-}
+#: labels used in the paper's figures.  Deprecation shim: a snapshot of
+#: the ``"mechanism"`` kind of :mod:`repro.registry` (the source of
+#: truth); mutating this dict does not affect lookups.
+MECHANISMS: Dict[str, Callable[..., BaseTrainer]] = _registry.as_dict("mechanism")
 
 
 def build_trainer(name: str, experiment: FLExperiment, **kwargs) -> BaseTrainer:
@@ -29,12 +40,12 @@ def build_trainer(name: str, experiment: FLExperiment, **kwargs) -> BaseTrainer:
 
     Extra keyword arguments are forwarded to the trainer constructor
     (e.g. ``num_tiers`` for TiFL, ``select_fraction`` for Dynamic,
-    ``grouping_strategy`` for Air-FedGA).
+    ``grouping_strategy`` for Air-FedGA).  Unknown mechanism names raise
+    :class:`~repro.registry.UnknownComponentError` (a ``KeyError``) with
+    close-match suggestions; unknown keyword arguments raise ``TypeError``
+    listing the trainer's accepted constructor parameters instead of
+    failing deep inside the trainer.
     """
-    try:
-        cls = MECHANISMS[name]
-    except KeyError as exc:
-        raise KeyError(
-            f"unknown mechanism {name!r}; available: {sorted(MECHANISMS)}"
-        ) from exc
+    cls = _registry.get("mechanism", name)
+    check_kwargs(cls, kwargs, context=f"mechanism {name!r}", exclude=("experiment",))
     return cls(experiment, **kwargs)

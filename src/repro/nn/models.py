@@ -40,6 +40,8 @@ from .layers import (
     collect_parameters)
 from .losses import accuracy, softmax_cross_entropy
 from .params import ParameterSet
+from ..registry import get as _get_component
+from ..registry import register as _register
 
 __all__ = [
     "Model",
@@ -304,20 +306,18 @@ def build_model(name: str, **kwargs) -> Model:
     """Construct a model by registry name.
 
     Recognized names: ``"lr"``, ``"mnist_cnn"``, ``"cifar_cnn"``,
-    ``"mini_vgg"``.
+    ``"mini_vgg"``.  Unknown names raise
+    :class:`~repro.registry.UnknownComponentError` (a ``KeyError``) with
+    close-match suggestions.
     """
-    try:
-        factory = MODEL_REGISTRY[name]
-    except KeyError as exc:
-        raise KeyError(
-            f"unknown model {name!r}; available: {sorted(MODEL_REGISTRY)}"
-        ) from exc
-    return factory(**kwargs)
+    return _get_component("model", name)(**kwargs)
 
 
+#: Deprecation shim: the ``"model"`` kind now lives in
+#: :mod:`repro.registry`; this dict mirrors it for legacy callers.
 MODEL_REGISTRY = {
-    "lr": LogisticRegressionMLP,
-    "mnist_cnn": MnistCNN,
-    "cifar_cnn": CifarCNN,
-    "mini_vgg": MiniVGG,
+    "lr": _register("model", "lr")(LogisticRegressionMLP),
+    "mnist_cnn": _register("model", "mnist_cnn")(MnistCNN),
+    "cifar_cnn": _register("model", "cifar_cnn")(CifarCNN),
+    "mini_vgg": _register("model", "mini_vgg")(MiniVGG),
 }

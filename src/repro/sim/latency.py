@@ -19,7 +19,14 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-__all__ = ["HeterogeneityModel", "LatencyTable"]
+from ..registry import register as _register
+
+__all__ = [
+    "HeterogeneityModel",
+    "LatencyTable",
+    "build_uniform_latency",
+    "build_homogeneous_latency",
+]
 
 
 @dataclass
@@ -151,3 +158,59 @@ class LatencyTable:
         if not ids:
             raise ValueError("group must contain at least one worker")
         return float(self.sample_times(ids, round_index).max())
+
+
+# ----------------------------------------------------------------------
+# Registry-backed latency/heterogeneity builders (kind "latency")
+# ----------------------------------------------------------------------
+@_register("latency", "uniform")
+def build_uniform_latency(
+    num_workers: int,
+    base_time: float = 1.0,
+    kappa_min: float = 1.0,
+    kappa_max: float = 10.0,
+    jitter_std: float = 0.0,
+    heterogeneity_seed: int = 1,
+    seed: int = 2,
+) -> LatencyTable:
+    """The paper's heterogeneity model: ``l_i = κ_i · l̂_i``, κ ~ U[min, max].
+
+    ``heterogeneity_seed`` seeds the κ draw and ``seed`` the (optional)
+    per-round jitter, matching the seed discipline of
+    :func:`repro.experiments.build_experiment` (``seed+1`` / ``seed+2``).
+    """
+    heterogeneity = HeterogeneityModel(
+        num_workers=num_workers,
+        kappa_min=kappa_min,
+        kappa_max=kappa_max,
+        seed=heterogeneity_seed,
+    )
+    return LatencyTable(
+        num_workers=num_workers,
+        base_time=base_time,
+        heterogeneity=heterogeneity,
+        jitter_std=jitter_std,
+        seed=seed,
+    )
+
+
+@_register("latency", "homogeneous")
+def build_homogeneous_latency(
+    num_workers: int,
+    base_time: float = 1.0,
+    jitter_std: float = 0.0,
+    seed: int = 2,
+    **_ignored,
+) -> LatencyTable:
+    """κ_i = 1 for all workers: every worker trains at the same speed.
+
+    Accepts (and ignores) the κ-range arguments of the ``"uniform"``
+    builder so the two are interchangeable in a scenario's timing section.
+    """
+    return LatencyTable(
+        num_workers=num_workers,
+        base_time=base_time,
+        heterogeneity=None,
+        jitter_std=jitter_std,
+        seed=seed,
+    )

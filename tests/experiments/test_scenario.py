@@ -1,0 +1,285 @@
+"""Tests for the declarative Scenario spec (repro.experiments.scenario)."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro import registry
+from repro.core import AirFedGAConfig, ParallelismConfig
+from repro.core.config import GroupingConfig
+from repro.data.synthetic import make_mnist_like
+from repro.experiments import (
+    ComponentSpec,
+    DataSpec,
+    ExperimentConfig,
+    Scenario,
+    TimingSpec,
+    TrainingSpec,
+    run_mechanism,
+)
+from repro.fl import AirFedGATrainer, TiFLTrainer
+from repro.registry import UnknownComponentError
+
+
+def tiny_scenario(**overrides) -> Scenario:
+    """A seconds-fast scenario used throughout this module."""
+    scenario = Scenario(
+        name="tiny",
+        num_workers=6,
+        seed=0,
+        data=DataSpec(
+            name="synthetic-mnist",
+            params={"num_train": 120, "num_test": 60, "image_size": 8},
+            flatten=True,
+        ),
+        model=ComponentSpec("lr", {"input_dim": 64, "hidden": 8, "num_classes": 10}),
+        timing=TimingSpec(base_local_time=2.0),
+        training=TrainingSpec(max_rounds=4, max_eval_samples=60),
+    )
+    return scenario.with_(**overrides) if overrides else scenario
+
+
+class TestRoundTrip:
+    def test_default_round_trips(self):
+        s = Scenario.default()
+        assert Scenario.from_dict(s.to_dict()) == s
+
+    def test_json_round_trips(self, tmp_path):
+        s = tiny_scenario()
+        path = tmp_path / "scenario.json"
+        s.to_json(path)
+        with path.open() as handle:
+            loaded = Scenario.from_dict(json.load(handle))
+        assert loaded == s
+
+    def test_from_json_accepts_text_and_path(self, tmp_path):
+        s = tiny_scenario()
+        assert Scenario.from_json(s.to_json()) == s
+        path = tmp_path / "s.json"
+        s.to_json(path)
+        assert Scenario.from_json(path) == s
+
+    @pytest.mark.parametrize("dataset", registry.names("dataset"))
+    def test_round_trip_every_dataset(self, dataset):
+        s = tiny_scenario(data=dataset)
+        assert Scenario.from_dict(json.loads(s.to_json())).data.name == dataset
+
+    @pytest.mark.parametrize("partitioner", registry.names("partitioner"))
+    def test_round_trip_every_partitioner(self, partitioner):
+        s = tiny_scenario(partition=partitioner)
+        assert Scenario.from_dict(s.to_dict()) == s
+
+    @pytest.mark.parametrize("channel", registry.names("channel"))
+    def test_round_trip_every_channel(self, channel):
+        s = tiny_scenario(channel=channel)
+        assert Scenario.from_dict(s.to_dict()) == s
+
+    @pytest.mark.parametrize("latency", registry.names("latency"))
+    def test_round_trip_every_latency_model(self, latency):
+        s = tiny_scenario(**{"timing.latency": latency})
+        assert Scenario.from_dict(s.to_dict()) == s
+
+    @pytest.mark.parametrize("mechanism", registry.names("mechanism"))
+    def test_round_trip_every_mechanism(self, mechanism):
+        s = tiny_scenario(mechanism=mechanism)
+        assert Scenario.from_dict(s.to_dict()) == s
+
+    @pytest.mark.parametrize("model", registry.names("model"))
+    def test_round_trip_every_model(self, model):
+        # Validation only resolves the name; params stay as data.
+        s = tiny_scenario(model=model)
+        assert Scenario.from_dict(s.to_dict()) == s
+
+    def test_tuple_params_normalize_to_lists(self):
+        a = tiny_scenario(**{"mechanism.params": {"num_groups": None}})
+        spec = ComponentSpec("x", {"values": (1, 2)})
+        assert spec.params == {"values": [1, 2]}
+        assert a == Scenario.from_dict(a.to_dict())
+
+    def test_partial_dict_takes_defaults(self):
+        s = Scenario.from_dict({"num_workers": 4})
+        assert s.num_workers == 4
+        assert s.mechanism.name == "air_fedga"
+        assert s.timing == TimingSpec()
+
+
+class TestValidation:
+    def test_unknown_component_names_fail_at_construction(self):
+        with pytest.raises(UnknownComponentError, match="unknown dataset"):
+            tiny_scenario(data="synthetic-mnst")
+        with pytest.raises(UnknownComponentError, match="unknown partition strategy"):
+            tiny_scenario(partition="label-skw")
+        with pytest.raises(UnknownComponentError, match="unknown channel kind"):
+            tiny_scenario(channel="awgn")
+        with pytest.raises(UnknownComponentError, match="unknown latency model"):
+            tiny_scenario(**{"timing.latency": "unifrom"})
+        with pytest.raises(UnknownComponentError, match="unknown mechanism"):
+            tiny_scenario(mechanism="air_fedgaa")
+
+    def test_unknown_mechanism_params_fail_at_construction(self):
+        with pytest.raises(TypeError, match="accepted parameters"):
+            tiny_scenario(**{"mechanism.params": {"grouping": "greedy"}})
+
+    def test_unknown_section_field_fails(self):
+        with pytest.raises(ValueError, match="unknown field"):
+            Scenario.from_dict({"training": {"max_round": 5}})
+
+    def test_unknown_top_level_field_suggests(self):
+        with pytest.raises(ValueError, match="did you mean 'mechanism'"):
+            Scenario.from_dict({"mechansim": {"name": "fedavg"}})
+
+    def test_bad_scalars_rejected(self):
+        with pytest.raises(ValueError, match="num_workers"):
+            Scenario(num_workers=0)
+        with pytest.raises(ValueError, match="seed"):
+            Scenario(seed=-1)
+        with pytest.raises(ValueError, match="base_local_time"):
+            TimingSpec(base_local_time=0.0)
+        with pytest.raises(ValueError, match="max_rounds"):
+            TrainingSpec(max_rounds=0)
+
+    def test_parallelism_must_live_in_its_own_section(self):
+        with pytest.raises(ValueError, match="scenario.parallelism"):
+            Scenario(
+                algorithm=AirFedGAConfig(
+                    parallelism=ParallelismConfig(mode="processes")
+                )
+            )
+
+    def test_parallelism_section_is_applied_at_build(self):
+        s = tiny_scenario()
+        s = dataclasses.replace(s, parallelism=ParallelismConfig(min_group_size=5))
+        experiment = s.build_experiment()
+        assert experiment.config.parallelism.min_group_size == 5
+
+
+class TestBuilder:
+    def test_default_is_valid_and_fast(self):
+        s = Scenario.default()
+        assert s.mechanism.name == "air_fedga"
+        assert s.training.max_rounds <= 10
+
+    def test_with_replaces_scalars_and_components(self):
+        s = Scenario.default().with_(
+            num_workers=4,
+            mechanism="tifl",
+            **{"timing.base_local_time": 1.5, "mechanism.params": {"num_tiers": 2}},
+        )
+        assert s.num_workers == 4
+        assert s.mechanism == ComponentSpec("tifl", {"num_tiers": 2})
+        assert s.timing.base_local_time == 1.5
+
+    def test_with_component_shorthand_resets_params(self):
+        s = tiny_scenario(**{"mechanism.params": {"staleness_exponent": 0.5}})
+        switched = s.with_(mechanism="fedavg")
+        assert switched.mechanism == ComponentSpec("fedavg")
+
+    def test_with_section_mapping_merges(self):
+        s = tiny_scenario().with_(training={"max_rounds": 2})
+        assert s.training.max_rounds == 2
+        assert s.training.batch_size == tiny_scenario().training.batch_size
+
+    def test_with_unknown_field_suggests(self):
+        with pytest.raises(ValueError, match="did you mean 'mechanism'"):
+            tiny_scenario().with_(mechansim="fedavg")
+
+    def test_with_does_not_mutate_the_original(self):
+        s = tiny_scenario()
+        s.with_(num_workers=3)
+        assert s.num_workers == 6
+
+
+class TestBuildAndRun:
+    def test_build_returns_ready_trainer(self):
+        trainer = tiny_scenario().build()
+        assert isinstance(trainer, AirFedGATrainer)
+        assert trainer.exp.num_workers == 6
+
+    def test_mechanism_params_reach_the_trainer(self):
+        trainer = tiny_scenario(
+            mechanism={"name": "tifl", "params": {"num_tiers": 2}}
+        ).build()
+        assert isinstance(trainer, TiFLTrainer)
+        assert trainer.num_tiers == 2
+
+    def test_run_honours_the_budget(self):
+        history = tiny_scenario().run()
+        assert history.total_rounds == 4
+        assert history.mechanism == "air_fedga"
+
+    def test_flatten_respected(self):
+        exp = tiny_scenario().build_experiment()
+        assert exp.dataset.sample_shape == (64,)
+        exp_img = tiny_scenario(data={"flatten": False}).build_experiment()
+        assert exp_img.dataset.sample_shape == (1, 8, 8)
+
+
+class TestLegacyEquivalence:
+    """A scenario run is bit-identical to the hand-wired ExperimentConfig run."""
+
+    def make_pair(self):
+        scenario = Scenario(
+            name="equivalence",
+            num_workers=6,
+            seed=3,
+            data=DataSpec(
+                name="synthetic-mnist",
+                params={"num_train": 120, "num_test": 60, "image_size": 8},
+                flatten=True,
+            ),
+            model=ComponentSpec(
+                "lr", {"input_dim": 64, "hidden": 8, "num_classes": 10}
+            ),
+            timing=TimingSpec(base_local_time=2.0),
+            training=TrainingSpec(max_rounds=5, max_eval_samples=60),
+            algorithm=AirFedGAConfig(grouping=GroupingConfig(xi=0.3)),
+        )
+        config = ExperimentConfig(
+            name="equivalence",
+            dataset_factory=lambda: make_mnist_like(
+                num_train=120, num_test=60, image_size=8, seed=3
+            ),
+            model_factory=lambda: registry.create(
+                "model", "lr", input_dim=64, hidden=8, num_classes=10, seed=3
+            ),
+            flatten_inputs=True,
+            num_workers=6,
+            base_local_time=2.0,
+            max_rounds=5,
+            max_eval_samples=60,
+            seed=3,
+            config=AirFedGAConfig(grouping=GroupingConfig(xi=0.3)),
+        )
+        return scenario, config
+
+    def test_bit_identical_history_from_json(self, tmp_path):
+        scenario, config = self.make_pair()
+        # The acceptance-criterion path: one JSON file reproduces the run.
+        path = tmp_path / "equivalence.json"
+        scenario.to_json(path)
+        with path.open() as handle:
+            loaded = Scenario.from_dict(json.load(handle))
+
+        scenario_history = loaded.run()
+        legacy_history = run_mechanism(config, "air_fedga")
+
+        assert len(scenario_history.records) == len(legacy_history.records)
+        for ours, theirs in zip(scenario_history.records, legacy_history.records):
+            assert dataclasses.asdict(ours) == dataclasses.asdict(theirs)
+
+    def test_experiments_match_structurally(self):
+        scenario, config = self.make_pair()
+        from repro.experiments import build_experiment
+        import numpy as np
+
+        ours = scenario.build_experiment()
+        theirs = build_experiment(config)
+        np.testing.assert_array_equal(ours.dataset.x_train, theirs.dataset.x_train)
+        np.testing.assert_array_equal(
+            ours.partition.data_sizes(), theirs.partition.data_sizes()
+        )
+        np.testing.assert_array_equal(
+            ours.latency.nominal_times(), theirs.latency.nominal_times()
+        )
+        np.testing.assert_array_equal(ours.channel.gains(0), theirs.channel.gains(0))

@@ -1,0 +1,156 @@
+"""Tests for the concurrent scenario-grid sweep runner."""
+
+import json
+
+import pytest
+
+from repro.experiments import SweepRunner, expand_grid, sweep_axes, sweep_points
+from repro.experiments.cli import main as cli_main
+
+
+def tiny_spec(**extra):
+    spec = {
+        "name": "grid",
+        "num_workers": 6,
+        "seed": [0, 1],
+        "data": {
+            "name": "synthetic-mnist",
+            "params": {"num_train": 120, "num_test": 60, "image_size": 8},
+            "flatten": True,
+        },
+        "model": {"name": "lr", "params": {"input_dim": 64, "hidden": 8, "num_classes": 10}},
+        "timing": {"base_local_time": 2.0},
+        "training": {"max_rounds": 3, "max_eval_samples": 60},
+        "algorithm": {"grouping": {"xi": [0.3, 1.0]}},
+    }
+    spec.update(extra)
+    return spec
+
+
+class TestGridExpansion:
+    def test_axes_found_at_any_depth(self):
+        axes = sweep_axes(tiny_spec())
+        assert axes == {"seed": [0, 1], "algorithm.grouping.xi": [0.3, 1.0]}
+
+    def test_cross_product_size_and_names(self):
+        scenarios = expand_grid(tiny_spec())
+        assert len(scenarios) == 4
+        assert [s.name for s in scenarios] == [f"grid#{i}" for i in range(4)]
+
+    def test_overrides_are_applied(self):
+        points = sweep_points(tiny_spec())
+        combos = {
+            (overrides["seed"], overrides["algorithm.grouping.xi"])
+            for _, overrides in points
+        }
+        assert combos == {(0, 0.3), (0, 1.0), (1, 0.3), (1, 1.0)}
+        for scenario, overrides in points:
+            assert scenario.seed == overrides["seed"]
+            assert scenario.algorithm.grouping.xi == overrides["algorithm.grouping.xi"]
+
+    def test_no_axes_yields_single_point(self):
+        spec = tiny_spec(seed=0)
+        spec["algorithm"] = {"grouping": {"xi": 0.3}}
+        points = sweep_points(spec)
+        assert len(points) == 1
+        assert points[0][0].name == "grid"
+        assert points[0][1] == {}
+
+    def test_typo_fails_before_any_run(self):
+        spec = tiny_spec()
+        spec["mechanism"] = {"name": "air_fedgaa"}
+        with pytest.raises(KeyError, match="unknown mechanism"):
+            sweep_points(spec)
+
+
+class TestSweepRunner:
+    def test_serial_four_point_grid_writes_jsonl(self, tmp_path):
+        out = tmp_path / "results.jsonl"
+        rows = SweepRunner(tiny_spec(), output=out, mode="serial").run()
+        assert [row["index"] for row in rows] == [0, 1, 2, 3]
+        lines = [json.loads(line) for line in out.read_text().splitlines()]
+        assert len(lines) == 4
+        for row in lines:
+            assert row["scenario"].startswith("grid#")
+            assert row["mechanism"] == "air_fedga"
+            assert set(row["overrides"]) == {"seed", "algorithm.grouping.xi"}
+            assert row["summary"]["rounds"] == 3.0
+            # Satellite: every row is self-describing for multi-core analysis.
+            assert isinstance(row["cpu_count"], int) and row["cpu_count"] >= 1
+            assert row["parallelism_mode"] in ("none", "processes")
+            assert row["parallelism_configured"] == "none"
+            assert row["pipeline"] is False
+            assert row["engine"] == "auto"
+
+    def test_concurrent_execution_of_four_point_grid(self, tmp_path):
+        out = tmp_path / "results.jsonl"
+        rows = SweepRunner(tiny_spec(), output=out, max_workers=2).run()
+        assert [row["index"] for row in rows] == [0, 1, 2, 3]
+        assert {
+            (row["overrides"]["seed"], row["overrides"]["algorithm.grouping.xi"])
+            for row in rows
+        } == {(0, 0.3), (0, 1.0), (1, 0.3), (1, 1.0)}
+        assert all("summary" in row for row in rows)
+        # The JSONL file holds the same four rows (in completion order).
+        lines = [json.loads(line) for line in out.read_text().splitlines()]
+        assert sorted(row["index"] for row in lines) == [0, 1, 2, 3]
+
+    def test_failed_point_becomes_error_row(self, tmp_path):
+        # 50 workers on 120 samples makes the dirichlet min-sample
+        # constraint unsatisfiable at build time.
+        spec = tiny_spec(num_workers=[6, 500])
+        spec["seed"] = 0
+        spec["algorithm"] = {"grouping": {"xi": 0.3}}
+        spec["partition"] = {"name": "dirichlet", "params": {}}
+        rows = SweepRunner(spec, mode="serial").run()
+        assert len(rows) == 2
+        errors = [row for row in rows if "error" in row]
+        assert len(errors) == 1
+        assert errors[0]["overrides"]["num_workers"] == 500
+        assert "summary" not in errors[0]
+
+    def test_scenarios_sequence_accepted(self):
+        scenarios = expand_grid(tiny_spec())[:2]
+        runner = SweepRunner(scenarios, mode="serial")
+        assert len(runner) == 2
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError, match="mode"):
+            SweepRunner(tiny_spec(), mode="threads")
+        with pytest.raises(ValueError, match="start_method"):
+            SweepRunner(tiny_spec(), start_method="nosuch")
+        with pytest.raises(ValueError, match="max_workers"):
+            SweepRunner(tiny_spec(), max_workers=0)
+        with pytest.raises(ValueError, match="empty"):
+            SweepRunner([])
+
+    def test_invalid_spec_in_worker_becomes_error_row(self):
+        # A pool worker re-validates the spec (e.g. a plug-in component
+        # registered only in the parent with a spawn pool); construction
+        # failures must yield an error row, not sink the sweep.
+        from repro.experiments.sweep import _execute_point
+
+        spec = tiny_spec(seed=0)
+        spec["algorithm"] = {"grouping": {"xi": 0.3}}
+        spec["mechanism"] = {"name": "only-in-parent"}
+        row = _execute_point(0, spec, {})
+        assert "unknown mechanism" in row["error"]
+        assert row["scenario"] == "grid"
+        assert row["cpu_count"] >= 1
+
+
+class TestSweepCLI:
+    def test_cli_runs_spec_file(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        spec = tiny_spec()
+        spec["algorithm"] = {"grouping": {"xi": 0.3}}  # 2 points
+        spec_path.write_text(json.dumps(spec))
+        out = tmp_path / "rows.jsonl"
+        code = cli_main(
+            ["sweep", str(spec_path), "--output", str(out), "--serial"]
+        )
+        assert code == 0
+        assert len(out.read_text().splitlines()) == 2
+        printed = capsys.readouterr().out
+        assert "Sweep results" in printed
+        assert "grid#0" in printed

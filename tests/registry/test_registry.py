@@ -1,0 +1,135 @@
+"""Tests for the generic component registry (repro.registry)."""
+
+import pytest
+
+from repro import registry
+from repro.registry import (
+    COMPONENT_KINDS,
+    UnknownComponentError,
+    accepted_parameters,
+    check_kwargs,
+    register,
+)
+
+
+class TestPopulation:
+    def test_standard_kinds_are_populated(self):
+        assert set(COMPONENT_KINDS) <= set(registry.kinds())
+
+    def test_standard_names(self):
+        assert registry.names("mechanism") == [
+            "air_fedavg", "air_fedga", "dynamic", "fedavg", "tifl",
+        ]
+        assert registry.names("partitioner") == ["dirichlet", "iid", "label-skew"]
+        assert registry.names("channel") == ["rayleigh", "static"]
+        assert registry.names("latency") == ["homogeneous", "uniform"]
+        assert registry.names("dataset") == [
+            "synthetic-cifar10", "synthetic-imagenet100", "synthetic-mnist",
+        ]
+        assert registry.names("model") == ["cifar_cnn", "lr", "mini_vgg", "mnist_cnn"]
+
+    def test_as_dict_is_a_snapshot(self):
+        snapshot = registry.as_dict("mechanism")
+        snapshot["bogus"] = object()
+        assert "bogus" not in registry.names("mechanism")
+
+    def test_unknown_kind_has_no_names(self):
+        assert registry.names("nonexistent-kind") == []
+
+
+class TestRegisterAndLookup:
+    def test_round_trip_custom_kind(self):
+        @register("test-kind", "widget")
+        def make_widget(size=1):
+            return ("widget", size)
+
+        assert registry.get("test-kind", "widget") is make_widget
+        assert registry.create("test-kind", "widget", size=3) == ("widget", 3)
+
+    def test_duplicate_registration_rejected(self):
+        @register("test-kind", "dup")
+        def first():
+            pass
+
+        with pytest.raises(ValueError, match="already registered"):
+            @register("test-kind", "dup")
+            def second():
+                pass
+
+    def test_overwrite_allowed_when_requested(self):
+        @register("test-kind", "shadow")
+        def first():
+            return 1
+
+        @register("test-kind", "shadow", overwrite=True)
+        def second():
+            return 2
+
+        assert registry.create("test-kind", "shadow") == 2
+
+    def test_bad_kind_or_name_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            register("", "x")
+        with pytest.raises(ValueError, match="name"):
+            register("test-kind", "")
+
+
+class TestUnknownComponentError:
+    def test_is_a_keyerror(self):
+        with pytest.raises(KeyError):
+            registry.get("mechanism", "fedprox")
+
+    def test_message_carries_suggestions(self):
+        with pytest.raises(UnknownComponentError) as excinfo:
+            registry.get("mechanism", "air_fedgaa")
+        message = str(excinfo.value)
+        assert "unknown mechanism 'air_fedgaa'" in message
+        assert "did you mean 'air_fedga'" in message
+        assert "available:" in message
+        assert excinfo.value.suggestions[0] == "air_fedga"
+        assert excinfo.value.kind == "mechanism"
+        assert excinfo.value.name == "air_fedgaa"
+
+    def test_no_suggestions_for_distant_name(self):
+        with pytest.raises(UnknownComponentError) as excinfo:
+            registry.get("mechanism", "zzzz")
+        assert excinfo.value.suggestions == []
+        assert "did you mean" not in str(excinfo.value)
+
+    def test_kind_labels_keep_legacy_wording(self):
+        with pytest.raises(KeyError, match="unknown partition strategy"):
+            registry.get("partitioner", "sorted")
+        with pytest.raises(KeyError, match="unknown channel kind"):
+            registry.get("channel", "mmwave")
+
+
+class TestKwargsChecking:
+    def test_accepted_parameters_excludes_self_and_excluded(self):
+        class Thing:
+            def __init__(self, experiment, alpha=1, *, beta=2):
+                pass
+
+        names, has_var_kw = accepted_parameters(Thing, exclude=("experiment",))
+        assert names == ["alpha", "beta"]
+        assert not has_var_kw
+
+    def test_check_kwargs_passes_known_names(self):
+        class Thing:
+            def __init__(self, alpha=1):
+                pass
+
+        check_kwargs(Thing, {"alpha": 3}, context="thing")
+
+    def test_check_kwargs_rejects_unknown_names(self):
+        class Thing:
+            def __init__(self, alpha=1, beta=2):
+                pass
+
+        with pytest.raises(TypeError, match="accepted parameters"):
+            check_kwargs(Thing, {"alpah": 3}, context="thing")
+
+    def test_var_keyword_factories_accept_anything(self):
+        def factory(**kwargs):
+            return kwargs
+
+        check_kwargs(factory, {"anything": 1}, context="factory")

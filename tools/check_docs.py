@@ -39,7 +39,14 @@ if str(REPO_ROOT / "src") not in sys.path:
 
 #: Public packages whose ``__all__`` exports must all appear in
 #: ``docs/API.md`` (the curated index of entry points).
-API_COVERAGE_MODULES = ("repro.fl", "repro.parallel", "repro.core")
+API_COVERAGE_MODULES = (
+    "repro.fl",
+    "repro.parallel",
+    "repro.core",
+    "repro.registry",
+    "repro.experiments.scenario",
+    "repro.experiments.sweep",
+)
 
 #: ``[text](target)`` — excludes images' leading ``!`` only in reporting;
 #: image targets are checked like any other link.
