@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-fast test-ci lint bench bench-quick docs-check sweep-smoke ci
+.PHONY: test test-fast test-ci lint bench bench-quick docs-check sweep-smoke chaos-smoke ci
 
 test:            ## full tier-1 suite (tests/ + benchmarks/)
 	$(PYTHON) -m pytest -x -q
@@ -27,4 +27,8 @@ docs-check:      ## link-check docs/*.md + README, run doctest on their fenced e
 sweep-smoke:     ## 2-point scenario grid on the synthetic dataset (the CI sweep-smoke job); streams per-run summaries to results/sweep_smoke.jsonl
 	$(PYTHON) -m repro.experiments sweep examples/sweep_smoke.json --output results/sweep_smoke.jsonl
 
-ci: lint test-ci bench-quick docs-check sweep-smoke  ## reproduce the full CI pipeline locally
+chaos-smoke:     ## fault-injection smoke (the CI chaos job): chaos-marked tests + a seeded dropout sweep; streams per-run fault counters to results/chaos_smoke.jsonl
+	$(PYTHON) -m pytest -q -m chaos
+	$(PYTHON) -m repro.experiments sweep examples/chaos_smoke.json --output results/chaos_smoke.jsonl
+
+ci: lint test-ci bench-quick docs-check sweep-smoke chaos-smoke  ## reproduce the full CI pipeline locally

@@ -9,6 +9,7 @@ __all__ = [
     "GroupingConfig",
     "ConvergenceConfig",
     "ParallelismConfig",
+    "FaultConfig",
     "AirFedGAConfig",
 ]
 
@@ -221,6 +222,53 @@ class ParallelismConfig:
             raise ValueError("min_group_size must be >= 1")
         if self.max_restarts < 0:
             raise ValueError("max_restarts must be non-negative")
+
+
+@dataclass
+class FaultConfig:
+    """Group-level policy for device faults (see :mod:`repro.sim.clientstate`).
+
+    The client-state model decides *which* workers are unavailable, drop
+    mid-round or return partial work; this config decides what the grouped
+    event loop does about it.  A group round proceeds only while at least
+    ``ceil(quorum_fraction · group_size)`` members (always at least one)
+    are present; below quorum the round is retried with a virtual-time
+    backoff up to ``max_retries`` times, after which it is recorded as a
+    quorum *skip* and the group simply starts its next local round.  A
+    group that fails ``max_consecutive_failures`` quorum checks in a row
+    is parked — removed from the event loop — so a fully dead group cannot
+    spin the simulation forever.
+    """
+
+    #: Minimum fraction of the group that must be present for a round to
+    #: count (applied to the dispatch roster and again to the mid-round
+    #: survivors).  The effective quorum is ``max(1, ceil(fraction·size))``.
+    quorum_fraction: float = 0.5
+    #: Below-quorum rounds are retried this many times (with backoff)
+    #: before being recorded as a skip.  0 means "skip immediately".
+    max_retries: int = 2
+    #: Simulated seconds added before a retried dispatch.
+    retry_backoff: float = 1.0
+    #: Scale the surviving members' aggregation weights so they carry the
+    #: full group's data mass (``Σα_members / Σα_survivors``); off, the
+    #: lost mass falls back onto the previous global model via Eq. (10).
+    renormalize_survivors: bool = True
+    #: Park a group (drop it from the event loop) after this many
+    #: consecutive failed quorum checks — the infinite-retry guard for
+    #: groups whose members never come back.
+    max_consecutive_failures: int = 25
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.quorum_fraction <= 1.0:
+            raise ValueError(
+                f"quorum_fraction must be in (0, 1], got {self.quorum_fraction}"
+            )
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.retry_backoff <= 0:
+            raise ValueError("retry_backoff must be positive")
+        if self.max_consecutive_failures < 1:
+            raise ValueError("max_consecutive_failures must be >= 1")
 
 
 @dataclass

@@ -177,6 +177,23 @@ class GroupAsyncScheduler:
         state.aggregations += 1
         return event
 
+    def abort_group(self, group_id: int) -> None:
+        """Discard a completed group round without performing a global update.
+
+        Used by the fault-injection layer when mid-round dropouts push a
+        group below quorum: the READY state resets (the members will train
+        again) but the global round counter does not advance and the
+        group's held model version is unchanged — the aborted round never
+        happened as far as staleness accounting is concerned.
+        """
+        state = self.group(group_id)
+        if not state.is_complete():
+            raise RuntimeError(
+                f"cannot abort group {group_id}: it is not complete "
+                f"({state.ready_count}/{state.size} READY messages)"
+            )
+        state.reset_ready()
+
     # ------------------------------------------------------------------
     def staleness_profile(self) -> List[int]:
         """Staleness of every aggregation performed so far."""

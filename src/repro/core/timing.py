@@ -32,6 +32,8 @@ __all__ = [
     "average_round_time",
     "participation_frequencies",
     "estimated_max_staleness",
+    "expected_dispatch_attempts",
+    "faulty_group_completion_time",
 ]
 
 
@@ -84,6 +86,82 @@ def estimated_max_staleness(group_times: Sequence[float]) -> float:
     if np.any(times <= 0):
         raise ValueError("group completion times must be positive")
     return float(times.max() * np.sum(1.0 / times))
+
+
+def _quorum_probability(
+    group_size: int, availability: float, quorum_fraction: float
+) -> float:
+    """``P(Binomial(n, p) >= ceil(q·n))`` — one dispatch meets quorum."""
+    if group_size < 1:
+        raise ValueError("group_size must be >= 1")
+    if not 0.0 <= availability <= 1.0:
+        raise ValueError("availability must be in [0, 1]")
+    if not 0.0 < quorum_fraction <= 1.0:
+        raise ValueError("quorum_fraction must be in (0, 1]")
+    quorum = max(1, int(np.ceil(quorum_fraction * group_size)))
+    if availability >= 1.0:
+        return 1.0
+    if availability <= 0.0:
+        return 0.0
+    k = np.arange(quorum, group_size + 1, dtype=np.float64)
+    # Binomial tail via log-pmf for numerical robustness at large groups.
+    from math import lgamma
+
+    log_choose = np.array(
+        [
+            lgamma(group_size + 1) - lgamma(int(i) + 1) - lgamma(group_size - int(i) + 1)
+            for i in k
+        ]
+    )
+    terms = (
+        log_choose
+        + k * np.log(availability)
+        + (group_size - k) * np.log1p(-availability)
+    )
+    return float(np.clip(np.exp(terms).sum(), 0.0, 1.0))
+
+
+def expected_dispatch_attempts(
+    group_size: int, availability: float, quorum_fraction: float = 0.5
+) -> float:
+    """Expected dispatches until a group meets quorum under Bernoulli faults.
+
+    With i.i.d. per-dispatch availability ``p`` (the ``"bernoulli"``
+    client-state model), each dispatch independently meets the
+    ``ceil(q·n)`` quorum with probability ``P_q``; attempts are geometric,
+    so the expectation is ``1 / P_q``.  Returns ``inf`` when quorum can
+    never be met (``p = 0`` with a non-trivial quorum).
+    """
+    p_quorum = _quorum_probability(group_size, availability, quorum_fraction)
+    if p_quorum <= 0.0:
+        return float("inf")
+    return 1.0 / p_quorum
+
+
+def faulty_group_completion_time(
+    local_times: Sequence[float],
+    upload_latency: float,
+    availability: float = 1.0,
+    quorum_fraction: float = 0.5,
+    retry_backoff: float = 1.0,
+) -> float:
+    """Expected ``L_j`` (Eq. 34) inflated by availability-induced retries.
+
+    Each failed quorum check delays the group by ``retry_backoff``
+    simulated seconds before its next dispatch, so the expected completion
+    time becomes ``L_j + (E[attempts] − 1) · backoff``.  With
+    ``availability = 1`` this reduces exactly to
+    :func:`group_completion_time`.
+    """
+    if retry_backoff < 0:
+        raise ValueError("retry_backoff must be non-negative")
+    base = group_completion_time(local_times, upload_latency)
+    attempts = expected_dispatch_attempts(
+        len(list(local_times)), availability, quorum_fraction
+    )
+    if not np.isfinite(attempts):
+        return float("inf")
+    return float(base + (attempts - 1.0) * retry_backoff)
 
 
 @dataclass

@@ -17,7 +17,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Optional
 
 from .. import registry
-from ..core.config import AirFedGAConfig
+from ..core.config import AirFedGAConfig, FaultConfig
 from ..data.synthetic import Dataset
 from ..nn.models import Model
 
@@ -81,6 +81,16 @@ class ExperimentConfig:
     #: "auto" (vectorized group-batched when supported), "batched", or
     #: "scalar" (the seed's sequential reference path, benchmark baseline).
     engine: str = "auto"
+    #: Device-realism model (registry kind ``"clientstate"``; see
+    #: :mod:`repro.sim.clientstate`).  The default ``"always-on"``
+    #: disables fault injection; extra constructor parameters go in
+    #: ``clientstate_params`` (``num_workers`` and the derived seed
+    #: ``seed + 4`` are supplied automatically).
+    clientstate_kind: str = "always-on"
+    clientstate_params: Dict[str, float] = field(default_factory=dict)
+    #: Group-level fault policy (quorum/retry/renormalization); inert
+    #: while ``clientstate_kind`` is ``"always-on"``.
+    fault: FaultConfig = field(default_factory=FaultConfig)
 
     def scaled(self, **overrides) -> "ExperimentConfig":
         """Return a copy with some fields overridden (for sweeps)."""

@@ -80,6 +80,15 @@ def build_experiment(config: ExperimentConfig) -> FLExperiment:
         seed=config.seed + 3,
         **config.channel_params,
     )
+    # Device-realism layer: the client-state model continues the seed
+    # ladder at seed+4 (matching Scenario.build_experiment).
+    clientstate = registry.create(
+        "clientstate",
+        config.clientstate_kind,
+        num_workers=config.num_workers,
+        seed=config.seed + 4,
+        **config.clientstate_params,
+    )
     return FLExperiment(
         dataset=dataset,
         partition=partition,
@@ -95,6 +104,8 @@ def build_experiment(config: ExperimentConfig) -> FLExperiment:
         seed=config.seed,
         latency_model_dimension=config.latency_model_dimension,
         engine=config.engine,
+        clientstate=clientstate,
+        fault=config.fault,
     )
 
 

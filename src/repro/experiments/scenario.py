@@ -42,7 +42,7 @@ from pathlib import Path
 from typing import Any, Callable, Dict, Mapping, Optional
 
 from .. import registry
-from ..core.config import AirFedGAConfig, ParallelismConfig
+from ..core.config import AirFedGAConfig, FaultConfig, ParallelismConfig
 from ..fl.base import BaseTrainer, FLExperiment
 from ..fl.history import TrainingHistory
 from ..fl.registry import build_trainer
@@ -52,6 +52,7 @@ __all__ = [
     "DataSpec",
     "TimingSpec",
     "TrainingSpec",
+    "FaultSpec",
     "Scenario",
 ]
 
@@ -194,6 +195,62 @@ class TrainingSpec:
 
 
 @dataclass
+class FaultSpec:
+    """The faults section: device-realism model plus the group fault policy.
+
+    ``clientstate`` names a registered client-state model (registry kind
+    ``"clientstate"``: ``always-on``, ``bernoulli``, ``lognormal``,
+    ``cyclic``, ``dropout-rejoin``, ``partial``; see
+    :mod:`repro.sim.clientstate`).  The default ``always-on`` disables
+    fault injection entirely — histories stay bit-identical to a scenario
+    without a faults section.  The remaining fields map one-to-one onto
+    :class:`repro.core.FaultConfig` (quorum fraction, retry/backoff
+    escalation, survivor-weight renormalization, parking guard).
+
+    The model receives ``num_workers`` and the derived seed ``seed + 4``
+    automatically at build time (continuing the scenario's seed
+    discipline), so two runs of the same scenario JSON replay identical
+    fault trajectories.
+    """
+
+    clientstate: ComponentSpec = field(
+        default_factory=lambda: ComponentSpec("always-on")
+    )
+    quorum_fraction: float = 0.5
+    max_retries: int = 2
+    retry_backoff: float = 1.0
+    renormalize_survivors: bool = True
+    max_consecutive_failures: int = 25
+
+    def __post_init__(self) -> None:
+        self.clientstate = ComponentSpec.coerce(
+            self.clientstate, "scenario.faults.clientstate"
+        )
+        # Validates the policy fields eagerly (quorum fraction range etc.).
+        self.to_fault_config()
+
+    def to_fault_config(self) -> FaultConfig:
+        """The :class:`~repro.core.FaultConfig` this section describes."""
+        return FaultConfig(
+            quorum_fraction=self.quorum_fraction,
+            max_retries=self.max_retries,
+            retry_backoff=self.retry_backoff,
+            renormalize_survivors=self.renormalize_survivors,
+            max_consecutive_failures=self.max_consecutive_failures,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "clientstate": self.clientstate.to_dict(),
+            "quorum_fraction": self.quorum_fraction,
+            "max_retries": self.max_retries,
+            "retry_backoff": self.retry_backoff,
+            "renormalize_survivors": self.renormalize_survivors,
+            "max_consecutive_failures": self.max_consecutive_failures,
+        }
+
+
+@dataclass
 class Scenario:
     """A complete, serializable specification of one simulation run.
 
@@ -215,6 +272,10 @@ class Scenario:
         ``algorithm``.
     ``parallelism``
         The :class:`~repro.core.config.ParallelismConfig` execution mode.
+    ``faults``
+        The device-realism layer (:class:`FaultSpec`): a client-state
+        model (availability / dropout / partial work) plus the group-level
+        quorum-and-retry policy.  Defaults to ``always-on`` (no faults).
 
     ``num_workers`` and ``seed`` are top-level because nearly every
     section consumes them; the component builders receive them
@@ -235,6 +296,7 @@ class Scenario:
     training: TrainingSpec = field(default_factory=TrainingSpec)
     algorithm: AirFedGAConfig = field(default_factory=AirFedGAConfig)
     parallelism: ParallelismConfig = field(default_factory=ParallelismConfig)
+    faults: FaultSpec = field(default_factory=FaultSpec)
 
     # ------------------------------------------------------------------
     # Validation
@@ -271,6 +333,16 @@ class Scenario:
             self.parallelism = _dataclass_from_dict(
                 ParallelismConfig, self.parallelism, "scenario.parallelism"
             )
+        if isinstance(self.faults, Mapping):
+            self.faults = _dataclass_from_dict(FaultSpec, self.faults, "scenario.faults")
+        elif isinstance(self.faults, str):
+            # Shorthand: a bare client-state model name with default policy.
+            self.faults = FaultSpec(clientstate=ComponentSpec(self.faults))
+        elif not isinstance(self.faults, FaultSpec):
+            raise ValueError(
+                "scenario.faults must be a client-state name, mapping or "
+                f"FaultSpec, got {type(self.faults).__name__}"
+            )
         # Parallelism lives in its own section; normalize the copy nested
         # inside the algorithm config so equality and serialization have
         # one source of truth.
@@ -286,6 +358,13 @@ class Scenario:
         registry.get("partitioner", self.partition.name)
         registry.get("channel", self.channel.name)
         registry.get("latency", self.timing.latency)
+        clientstate_cls = registry.get("clientstate", self.faults.clientstate.name)
+        registry.check_kwargs(
+            clientstate_cls,
+            dict(self.faults.clientstate.params),
+            context=f"client-state model {self.faults.clientstate.name!r}",
+            exclude=("num_workers", "seed"),
+        )
         trainer_cls = registry.get("mechanism", self.mechanism.name)
         registry.check_kwargs(
             trainer_cls,
@@ -385,6 +464,7 @@ class Scenario:
             "training": asdict(self.training),
             "algorithm": algorithm,
             "parallelism": asdict(self.parallelism),
+            "faults": self.faults.to_dict(),
         }
 
     @classmethod
@@ -459,6 +539,16 @@ class Scenario:
             seed=self.seed + 3,
             **self.channel.params,
         )
+        # Device-realism layer: the client-state model continues the seed
+        # ladder at seed+4.  The always-on model is built too (it validates
+        # num_workers) but the trainer's fast path normalizes it away.
+        clientstate = registry.create(
+            "clientstate",
+            self.faults.clientstate.name,
+            num_workers=self.num_workers,
+            seed=self.seed + 4,
+            **self.faults.clientstate.params,
+        )
         config = replace(self.algorithm, parallelism=self.parallelism)
         return FLExperiment(
             dataset=dataset,
@@ -475,6 +565,8 @@ class Scenario:
             seed=self.seed,
             latency_model_dimension=self.training.latency_model_dimension,
             engine=self.training.engine,
+            clientstate=clientstate,
+            fault=self.faults.to_fault_config(),
         )
 
     def build(self) -> BaseTrainer:

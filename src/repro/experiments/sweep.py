@@ -31,6 +31,8 @@ import copy
 import itertools
 import json
 import os
+import time
+import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
@@ -95,9 +97,22 @@ def expand_grid(spec: Mapping[str, Any]) -> List[Scenario]:
     return [scenario for scenario, _ in sweep_points(spec)]
 
 
-def _execute_point(index: int, scenario_dict: Dict[str, Any], overrides: Dict[str, Any]) -> Dict[str, Any]:
+def _execute_point(
+    index: int,
+    scenario_dict: Dict[str, Any],
+    overrides: Dict[str, Any],
+    retries: int = 1,
+    retry_backoff: float = 0.5,
+) -> Dict[str, Any]:
     """Run one grid point; returns its JSONL row.  Must stay module-level
     (and take only JSON-native arguments) so process pools can pickle it.
+
+    Transient failures (a pool worker OOM-killed, a flaky shared-memory
+    init, …) are retried ``retries`` times with ``retry_backoff`` seconds
+    of real-time backoff before the point is given up on; the emitted
+    error row then carries the exception *and* its full traceback string
+    so a failed sweep is debuggable from the JSONL alone.  ``attempts``
+    records how many executions the row consumed either way.
     """
     row: Dict[str, Any] = {
         "index": index,
@@ -105,30 +120,39 @@ def _execute_point(index: int, scenario_dict: Dict[str, Any], overrides: Dict[st
         "overrides": overrides,
         "cpu_count": os.cpu_count(),
     }
-    try:
-        # Inside the try: a pool worker re-validates the spec, and e.g. a
-        # component registered only in the parent process must yield an
-        # error row, not abort the sweep.
-        scenario = Scenario.from_dict(scenario_dict)
-        row["mechanism"] = scenario.mechanism.name
-        row["engine"] = scenario.training.engine
-        row["parallelism_configured"] = scenario.parallelism.mode
-        row["pipeline"] = scenario.parallelism.pipeline
-        with scenario.build() as trainer:
-            history = trainer.run(
-                max_rounds=scenario.training.max_rounds,
-                max_time=scenario.training.max_time,
-            )
-            # Resolved *inside* the context: close() tears the pool down.
-            row["parallelism_mode"] = (
-                "processes" if trainer.parallelism_active else "none"
-            )
-        row["summary"] = history.summary()
-        row["pipeline_hits"] = history.pipeline_hits
-        row["pipeline_recomputes"] = history.pipeline_recomputes
-    except Exception as exc:  # one failed point must not sink the sweep
-        row["error"] = f"{type(exc).__name__}: {exc}"
-        row["parallelism_mode"] = row.get("parallelism_mode", "none")
+    for attempt in range(retries + 1):
+        row["attempts"] = attempt + 1
+        try:
+            # Inside the try: a pool worker re-validates the spec, and e.g. a
+            # component registered only in the parent process must yield an
+            # error row, not abort the sweep.
+            scenario = Scenario.from_dict(scenario_dict)
+            row["mechanism"] = scenario.mechanism.name
+            row["engine"] = scenario.training.engine
+            row["parallelism_configured"] = scenario.parallelism.mode
+            row["pipeline"] = scenario.parallelism.pipeline
+            with scenario.build() as trainer:
+                history = trainer.run(
+                    max_rounds=scenario.training.max_rounds,
+                    max_time=scenario.training.max_time,
+                )
+                # Resolved *inside* the context: close() tears the pool down.
+                row["parallelism_mode"] = (
+                    "processes" if trainer.parallelism_active else "none"
+                )
+            row["summary"] = history.summary()
+            row["pipeline_hits"] = history.pipeline_hits
+            row["pipeline_recomputes"] = history.pipeline_recomputes
+            row["faults"] = history.fault_counters()
+            row.pop("error", None)
+            row.pop("traceback", None)
+            break
+        except Exception as exc:  # one failed point must not sink the sweep
+            row["error"] = f"{type(exc).__name__}: {exc}"
+            row["traceback"] = traceback.format_exc()
+            row["parallelism_mode"] = row.get("parallelism_mode", "none")
+            if attempt < retries and retry_backoff > 0:
+                time.sleep(retry_backoff * (attempt + 1))
     return row
 
 
@@ -155,6 +179,14 @@ class SweepRunner:
     start_method:
         ``multiprocessing`` start method for the pool (``"fork"``
         default, matching :class:`~repro.core.config.ParallelismConfig`).
+    retries:
+        How many times a failed grid point is re-executed (with real-time
+        backoff) before its error row — carrying the exception and the
+        full traceback string — is emitted.  Default 1: one retry absorbs
+        transient infrastructure failures without masking real bugs.
+    retry_backoff:
+        Seconds slept before the first retry (scaled linearly for later
+        attempts); 0 disables the sleep.
     """
 
     def __init__(
@@ -164,6 +196,8 @@ class SweepRunner:
         max_workers: Optional[int] = None,
         mode: str = "processes",
         start_method: str = "fork",
+        retries: int = 1,
+        retry_backoff: float = 0.5,
     ) -> None:
         if mode not in ("processes", "serial"):
             raise ValueError(f"mode must be 'processes' or 'serial', got {mode!r}")
@@ -174,6 +208,10 @@ class SweepRunner:
             )
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1 when given")
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        if retry_backoff < 0:
+            raise ValueError("retry_backoff must be non-negative")
         if isinstance(spec, Mapping):
             self.points = sweep_points(spec)
         else:
@@ -184,6 +222,8 @@ class SweepRunner:
         self.max_workers = max_workers
         self.mode = mode
         self.start_method = start_method
+        self.retries = retries
+        self.retry_backoff = retry_backoff
 
     def __len__(self) -> int:
         return len(self.points)
@@ -191,7 +231,7 @@ class SweepRunner:
     def run(self) -> List[Dict[str, Any]]:
         """Execute every grid point; returns the rows ordered by grid index."""
         payloads = [
-            (index, scenario.to_dict(), overrides)
+            (index, scenario.to_dict(), overrides, self.retries, self.retry_backoff)
             for index, (scenario, overrides) in enumerate(self.points)
         ]
         handle = None

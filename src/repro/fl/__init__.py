@@ -16,7 +16,12 @@ Public entry points (documented in ``docs/API.md``):
   managers: ``with build_trainer(...) as t: t.run(...)`` releases any
   multiprocess resources deterministically;
 * :class:`TrainingHistory` / :class:`RoundRecord` — the per-round
-  trajectory every ``run()`` returns.
+  trajectory every ``run()`` returns (including the device-fault
+  counters);
+* :class:`StalenessPolicy` and its ``constant`` / ``polynomial`` /
+  ``hinge`` implementations — staleness-aware aggregation schedules
+  (registry kind ``"staleness"``), coerced from names/mappings by
+  :func:`resolve_staleness_policy`.
 """
 
 from .base import BaseTrainer, FLExperiment
@@ -25,6 +30,13 @@ from .fedavg import FedAvgTrainer
 from .air_fedavg import AirFedAvgTrainer
 from .dynamic import DynamicTrainer
 from .grouped import GroupedAsyncTrainer
+from .staleness import (
+    ConstantStaleness,
+    HingeStaleness,
+    PolynomialStaleness,
+    StalenessPolicy,
+    resolve_staleness_policy,
+)
 from .tifl import TiFLTrainer
 from .air_fedga import AirFedGATrainer
 from .registry import MECHANISMS, build_trainer
@@ -42,4 +54,9 @@ __all__ = [
     "AirFedGATrainer",
     "MECHANISMS",
     "build_trainer",
+    "StalenessPolicy",
+    "ConstantStaleness",
+    "PolynomialStaleness",
+    "HingeStaleness",
+    "resolve_staleness_policy",
 ]

@@ -56,6 +56,7 @@ class AirFedGATrainer(GroupedAsyncTrainer):
         num_groups: Optional[int] = None,
         grouping_seed: int = 0,
         staleness_exponent: float = 0.0,
+        staleness: object = None,
     ) -> None:
         """
         Parameters
@@ -74,13 +75,19 @@ class AirFedGATrainer(GroupedAsyncTrainer):
         staleness_exponent:
             Optional staleness-aware damping of stale group updates
             (extension; 0.0 reproduces the paper's Eq. (10) exactly).
+        staleness:
+            A staleness policy by registry name, mapping or instance (see
+            :mod:`repro.fl.staleness`); mutually exclusive with a non-zero
+            ``staleness_exponent``.
         """
         if grouping_strategy not in {"greedy", "tier", "random", "singleton"}:
             raise ValueError(f"unknown grouping strategy {grouping_strategy!r}")
         self.grouping_strategy = grouping_strategy
         self.num_groups_hint = num_groups
         self.grouping_seed = grouping_seed
-        super().__init__(experiment, staleness_exponent=staleness_exponent)
+        super().__init__(
+            experiment, staleness_exponent=staleness_exponent, staleness=staleness
+        )
 
     # ------------------------------------------------------------------
     def build_groups(self) -> List[List[int]]:
@@ -135,11 +142,16 @@ class AirFedGATrainer(GroupedAsyncTrainer):
         member_ids: Sequence[int],
         local_vectors: Sequence[np.ndarray],
         round_index: int,
+        weight_scale: float = 1.0,
     ) -> Tuple[np.ndarray, Dict[str, float]]:
         # Writing into the trainer-owned update buffer keeps the AirComp
         # aggregation allocation-free (the event loop swaps it into place).
         return self.aircomp_group_update(
-            member_ids, local_vectors, round_index, out=self._update_out
+            member_ids,
+            local_vectors,
+            round_index,
+            out=self._update_out,
+            weight_scale=weight_scale,
         )
 
     def upload_time(self, member_ids: Sequence[int], round_index: int) -> float:

@@ -36,7 +36,7 @@ from ..channel.aircomp import (
 from ..channel.energy import EnergyTracker
 from ..channel.fading import ChannelModel
 from ..channel.oma import OMAConfig, tdma_round_time
-from ..core.config import AirFedGAConfig
+from ..core.config import AirFedGAConfig, FaultConfig
 from ..core.power_control import PowerControlCache, solve_power_control
 from ..data.partition import Partition
 from ..data.synthetic import Dataset
@@ -45,6 +45,7 @@ from ..nn.models import Model
 from ..nn.optim import SGD
 from ..nn.params import parameter_dtype
 from ..parallel import ProcessGroupExecutor, UnsupportedModelError
+from ..sim.clientstate import ClientStateModel
 from ..sim.latency import LatencyTable
 from .history import RoundRecord, TrainingHistory
 
@@ -109,6 +110,17 @@ class FLExperiment:
     #: to keep the communication-time model faithful while the learning part
     #: stays tractable.  ``None`` means "use the trained model's dimension".
     latency_model_dimension: Optional[int] = None
+    #: Device-realism model (see :mod:`repro.sim.clientstate`): decides
+    #: which workers are unavailable at group-dispatch time, drop mid-round
+    #: or return partial local work.  ``None`` (or the ``always-on`` model)
+    #: disables fault injection entirely — the event loop then takes the
+    #: exact legacy code path and histories stay bit-identical.
+    clientstate: Optional[ClientStateModel] = None
+    #: Group-level policy for reacting to faults (quorum fraction, retry
+    #: backoff, survivor-weight renormalization); see
+    #: :class:`repro.core.FaultConfig`.  Inert while ``clientstate`` is
+    #: ``None``/always-on.
+    fault: FaultConfig = field(default_factory=FaultConfig)
 
     def __post_init__(self) -> None:
         if self.partition.num_workers != self.latency.num_workers:
@@ -134,6 +146,15 @@ class FLExperiment:
         if self.engine not in ("auto", "batched", "scalar"):
             raise ValueError(
                 f"engine must be 'auto', 'batched' or 'scalar', got {self.engine!r}"
+            )
+        if (
+            self.clientstate is not None
+            and self.clientstate.num_workers != self.partition.num_workers
+        ):
+            raise ValueError(
+                "client-state model and partition disagree on the number of "
+                f"workers ({self.clientstate.num_workers} vs "
+                f"{self.partition.num_workers})"
             )
 
     @property
@@ -471,6 +492,7 @@ class BaseTrainer:
         member_ids: Sequence[int],
         local_vectors: Sequence[np.ndarray],
         out: Optional[np.ndarray] = None,
+        weight_scale: float = 1.0,
     ) -> np.ndarray:
         """Error-free OMA aggregation (Eq. 8).
 
@@ -481,12 +503,18 @@ class BaseTrainer:
         local-model matrix; pass ``out`` (the trainers pass their own
         ``_update_out`` buffer) to make the call allocation-free.
         ``local_vectors`` may be a sequence of flat vectors or an already
-        stacked 2-D array.
+        stacked 2-D array.  ``weight_scale`` multiplies the participants'
+        ``α_i`` — the fault layer passes ``Σα_members / Σα_survivors`` so
+        mid-round survivors carry the full group's data mass.
         """
         member_ids = list(member_ids)
         if len(member_ids) != len(local_vectors):
             raise ValueError("member_ids and local_vectors length mismatch")
+        if weight_scale <= 0:
+            raise ValueError(f"weight_scale must be positive, got {weight_scale}")
         alphas = self.alphas[member_ids]
+        if weight_scale != 1.0:
+            alphas = alphas * weight_scale
         if self.exp.engine == "scalar":
             # Seed-equivalent reference path (benchmark baseline).
             new_global = (1.0 - alphas.sum()) * self.global_vector
@@ -516,6 +544,7 @@ class BaseTrainer:
         local_vectors: Sequence[np.ndarray],
         round_index: int,
         out: Optional[np.ndarray] = None,
+        weight_scale: float = 1.0,
     ) -> Tuple[np.ndarray, Dict[str, float]]:
         """One over-the-air aggregation with power control (Eqs. 6-10).
 
@@ -523,16 +552,24 @@ class BaseTrainer:
         per-round transmit energy and the aggregation error diagnostics.
         ``local_vectors`` may be a stacked ``(G, q)`` array; pass ``out`` to
         receive the new global model in a caller-owned buffer.
+        ``weight_scale`` multiplies the participants' effective data sizes
+        (and thus their ``α_i`` and the Eq.-10 mixing mass β) — the fault
+        layer passes ``Σα_members / Σα_survivors`` so a degraded group's
+        survivors carry the full group's data mass over the air.
         """
         member_ids = list(member_ids)
         if len(member_ids) == 0:
             raise ValueError("at least one participant required")
         if len(member_ids) != len(local_vectors):
             raise ValueError("member_ids and local_vectors length mismatch")
+        if weight_scale <= 0:
+            raise ValueError(f"weight_scale must be positive, got {weight_scale}")
         cfg = self.exp.config.aircomp
         gains_all = self.exp.channel.gains(round_index)
         gains = gains_all[member_ids]
         sizes = self.data_sizes[member_ids]
+        if weight_scale != 1.0:
+            sizes = sizes * weight_scale
 
         # Model-norm bound W_t: use the largest local-model norm this round,
         # which is exactly what Assumption 4 bounds.
@@ -596,6 +633,8 @@ class BaseTrainer:
             )
         # Eq. (10): mix the received estimate with the previous global model.
         beta = float(self.alphas[member_ids].sum())
+        if weight_scale != 1.0:
+            beta = min(1.0, beta * weight_scale)
         if out is None:
             new_global = (1.0 - beta) * self.global_vector + result.estimate
         else:

@@ -35,8 +35,9 @@ exactly which operations must stay in the parent and in event order).
 from __future__ import annotations
 
 import heapq
+import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -44,6 +45,7 @@ from ..core.mechanism import GroupAsyncScheduler
 from ..parallel import GroupFuture
 from .base import BaseTrainer, FLExperiment
 from .history import TrainingHistory
+from .staleness import StalenessPolicy, resolve_staleness_policy
 
 __all__ = ["GroupedAsyncTrainer"]
 
@@ -58,6 +60,22 @@ class _Speculation:
     future: GroupFuture
 
 
+@dataclass
+class _Roster:
+    """The fault layer's record of one group dispatch.
+
+    Captured when the group is (re-)enqueued: which members were available
+    to start the local round, the round label the dispatch sampled its
+    latency/fault draws with, and the per-group dispatch sequence number
+    that makes every dispatch's RNG draws unique (retries and re-dispatches
+    of the same round label draw fresh randomness).
+    """
+
+    members: List[int]
+    round_label: int
+    seq: int
+
+
 class GroupedAsyncTrainer(BaseTrainer):
     """Base class for group-asynchronous mechanisms (TiFL, Air-FedGA).
 
@@ -66,23 +84,47 @@ class GroupedAsyncTrainer(BaseTrainer):
     experiment:
         The federated experiment definition.
     staleness_exponent:
-        Optional staleness-aware damping (an extension beyond the paper,
-        following the asynchronous-FL literature the paper cites, e.g. Xie et
-        al.): a group whose update is based on a global model ``τ`` rounds
-        old contributes with weight ``1 / (1 + τ)**staleness_exponent``.
-        The default ``0.0`` reproduces the paper's Eq. (10) exactly.  The
+        Legacy shorthand for the ``polynomial`` staleness policy (an
+        extension beyond the paper, following the asynchronous-FL
+        literature the paper cites, e.g. Xie et al.): a group whose update
+        is based on a global model ``τ`` rounds old contributes with
+        weight ``1 / (1 + τ)**staleness_exponent``.  The default ``0.0``
+        reproduces the paper's Eq. (10) exactly.
+    staleness:
+        A staleness policy by registry name (``"constant"``, ``"hinge"``,
+        ``"polynomial"``), as a ``{"name": ..., "params": {...}}`` mapping,
+        or as a :class:`~repro.fl.staleness.StalenessPolicy` instance.
+        Mutually exclusive with a non-zero ``staleness_exponent``.  The
         damping mix happens in the parent process in event order — one of
         the determinism invariants (``docs/ARCHITECTURE.md``, "Determinism
         invariants") — so it composes with both multiprocess execution and
         the pipelined mode (``config.parallelism.pipeline``): speculation
         never changes which staleness ``τ`` a commit observes.
+
+    Device faults (``experiment.clientstate`` + ``experiment.fault``) are
+    threaded through the event loop: availability is checked at group
+    dispatch, mid-round dropouts are checked when the group's round
+    completes, survivors below the quorum abort the round (with retry /
+    skip / park escalation per :class:`~repro.core.FaultConfig`), and the
+    surviving members' aggregation weights are renormalized so they carry
+    the full group's data mass.  With no client-state model (or the
+    ``always-on`` model) the loop takes the exact legacy code path.
     """
 
     name = "grouped_async"
 
-    def __init__(self, experiment: FLExperiment, staleness_exponent: float = 0.0) -> None:
-        if staleness_exponent < 0:
-            raise ValueError("staleness_exponent must be non-negative")
+    def __init__(
+        self,
+        experiment: FLExperiment,
+        staleness_exponent: float = 0.0,
+        staleness: Union[None, str, Mapping[str, Any], StalenessPolicy] = None,
+    ) -> None:
+        # Validates staleness_exponent >= 0 and the exclusivity of the two
+        # staleness arguments; the legacy exponent maps onto the
+        # bit-identical polynomial policy.
+        self._staleness_policy: Optional[StalenessPolicy] = resolve_staleness_policy(
+            staleness, staleness_exponent
+        )
         self.staleness_exponent = staleness_exponent
         super().__init__(experiment)
         self.groups: List[List[int]] = self.build_groups()
@@ -111,6 +153,25 @@ class GroupedAsyncTrainer(BaseTrainer):
         # expensive in the paper's Fig. 8 — with many tiny groups the channel
         # itself becomes the bottleneck.
         self._channel_busy_until: float = 0.0
+        # ------------------------------------------------------------------
+        # Fault-injection state (repro.sim.clientstate + FaultConfig).  The
+        # always-on model is normalized to None so the event loop's fast
+        # path — and therefore bit-identical histories — applies whenever
+        # no faults can actually occur.
+        # ------------------------------------------------------------------
+        cs = experiment.clientstate
+        self._clientstate = cs if (cs is not None and not cs.is_always_on) else None
+        #: Last dispatch roster per group (only populated while faults are on).
+        self._rosters: Dict[int, _Roster] = {}
+        #: Per-group monotonic dispatch counter: every availability /
+        #: survival / completion draw is keyed by it, so retries and
+        #: re-dispatches of the same round label get fresh randomness while
+        #: two runs of the same scenario replay identical trajectories.
+        self._dispatch_seqs: List[int] = [0] * len(self.groups)
+        #: Retries used for the group's current round attempt.
+        self._retry_counts: List[int] = [0] * len(self.groups)
+        #: Consecutive failed quorum checks (parking guard).
+        self._consecutive_failures: List[int] = [0] * len(self.groups)
 
     # ------------------------------------------------------------------
     # Hooks specialized by the concrete mechanisms
@@ -125,8 +186,15 @@ class GroupedAsyncTrainer(BaseTrainer):
         member_ids: Sequence[int],
         local_vectors: Sequence[np.ndarray],
         round_index: int,
+        weight_scale: float = 1.0,
     ) -> Tuple[np.ndarray, Dict[str, float]]:
-        """Produce the new global model from the group's local models."""
+        """Produce the new global model from the group's local models.
+
+        ``weight_scale`` multiplies the participants' aggregation weights;
+        the fault layer passes ``Σα_members / Σα_survivors`` when a
+        degraded round aggregates only the mid-round survivors (see
+        ``FaultConfig.renormalize_survivors``).
+        """
         raise NotImplementedError
 
     def upload_time(self, member_ids: Sequence[int], round_index: int) -> float:
@@ -138,6 +206,92 @@ class GroupedAsyncTrainer(BaseTrainer):
         """Local-training duration of a group: its slowest member."""
         members = self.groups[group_id]
         return float(self.exp.latency.sample_times(members, round_index).max())
+
+    # ------------------------------------------------------------------
+    # Fault-injection helpers (experiment.clientstate + experiment.fault)
+    # ------------------------------------------------------------------
+    def _quorum(self, group_id: int) -> int:
+        """``max(1, ceil(quorum_fraction · group_size))`` for one group."""
+        size = len(self.groups[group_id])
+        return max(1, math.ceil(self.exp.fault.quorum_fraction * size))
+
+    def _next_seq(self, group_id: int) -> int:
+        seq = self._dispatch_seqs[group_id]
+        self._dispatch_seqs[group_id] = seq + 1
+        return seq
+
+    def _register_quorum_failure(self, group_id: int) -> str:
+        """Escalate one failed quorum check: ``"retry"``, ``"skip"`` or ``"park"``.
+
+        Retries are budgeted per round attempt (``fault.max_retries``); a
+        skip abandons the attempt and resets the retry budget; a group that
+        fails ``fault.max_consecutive_failures`` checks in a row is parked
+        (removed from the event loop) so dead groups cannot spin forever.
+        All three outcomes are counted on the history.
+        """
+        self._consecutive_failures[group_id] += 1
+        if self._consecutive_failures[group_id] >= self.exp.fault.max_consecutive_failures:
+            self.history.groups_parked += 1
+            return "park"
+        if self._retry_counts[group_id] < self.exp.fault.max_retries:
+            self._retry_counts[group_id] += 1
+            self.history.quorum_retries += 1
+            return "retry"
+        self._retry_counts[group_id] = 0
+        self.history.quorum_skips += 1
+        return "skip"
+
+    def _dispatch_group(
+        self,
+        queue: List[Tuple[float, int]],
+        group_id: int,
+        start_time: float,
+        round_label: int,
+    ) -> bool:
+        """(Re-)enqueue a group's next local round, applying availability faults.
+
+        Without a client-state model this reduces exactly to the legacy
+        ``heappush((start + compute_time, g))``.  With one, the model is
+        polled for each member's availability; a roster at or above quorum
+        is recorded and enqueued (its ready time gated by its slowest
+        *available* member), while a below-quorum roster escalates through
+        retry (re-poll ``retry_backoff`` seconds later), skip (idle one
+        local-round window, then re-poll) or park (group leaves the loop;
+        returns ``False``).
+        """
+        if self._clientstate is None:
+            heapq.heappush(
+                queue,
+                (start_time + self.group_compute_time(group_id, round_label), group_id),
+            )
+            return True
+        members = self.groups[group_id]
+        fault = self.exp.fault
+        attempt_start = start_time
+        while True:
+            seq = self._next_seq(group_id)
+            mask = self._clientstate.availability_mask(members, round_label, seq)
+            active = [w for w, ok in zip(members, mask) if ok]
+            self.history.workers_unavailable += len(members) - len(active)
+            if len(active) >= self._quorum(group_id):
+                self._retry_counts[group_id] = 0
+                self._consecutive_failures[group_id] = 0
+                self._rosters[group_id] = _Roster(active, round_label, seq)
+                ready = attempt_start + float(
+                    self.exp.latency.sample_times(active, round_label).max()
+                )
+                heapq.heappush(queue, (ready, group_id))
+                return True
+            action = self._register_quorum_failure(group_id)
+            if action == "park":
+                return False
+            if action == "retry":
+                attempt_start += fault.retry_backoff
+                continue
+            # Skip: the group idles one local-round window before re-polling.
+            attempt_start += fault.retry_backoff + self.group_compute_time(
+                group_id, round_label
+            )
 
     # ------------------------------------------------------------------
     # Pipelined-execution hooks (config.parallelism.pipeline)
@@ -225,15 +379,21 @@ class GroupedAsyncTrainer(BaseTrainer):
         # it excluded perform an untimed warm-up dispatch, see
         # repro.experiments.bench).  Serial configurations are a no-op.
         executor = self.parallel_executor()
+        cs = self._clientstate
+        # Speculation predicts the next pop from deterministic timing; with
+        # a fault model active, timing is no longer a pure function of
+        # (group, round) — dispatch rosters and retries consume RNG draws —
+        # so the pipelined overlap is disabled (plain multiprocess
+        # execution still applies).
         pipelining = bool(
-            self.exp.config.parallelism.pipeline and executor is not None
+            self.exp.config.parallelism.pipeline and executor is not None and cs is None
         )
         self.record_round(round_index=0, time=0.0, num_participants=0, force_eval=True)
         # Priority queue of (ready_time, group_id): the moment every member
         # of the group has finished local training and sent READY.
         queue: List[Tuple[float, int]] = []
         for g in range(len(self.groups)):
-            heapq.heappush(queue, (self.group_compute_time(g, 1), g))
+            self._dispatch_group(queue, g, 0.0, 1)
 
         spec: Optional[_Speculation] = None
         try:
@@ -243,7 +403,10 @@ class GroupedAsyncTrainer(BaseTrainer):
                     break
                 members = self.groups[group_id]
                 # Protocol: every member sends READY; the last one completes
-                # the group and triggers EXECUTE.
+                # the group and triggers EXECUTE.  (Under faults, absent
+                # members' READY messages are synthesized by the server so
+                # the Alg.-1 counter still reaches |V_j| — the roster below
+                # decides who actually trained.)
                 completed: Optional[int] = None
                 for w in members:
                     result = self.scheduler.receive_ready(w)
@@ -253,6 +416,50 @@ class GroupedAsyncTrainer(BaseTrainer):
                     raise RuntimeError(
                         "group did not complete after all READY messages"
                     )
+
+                participants: List[int] = members
+                weight_scale = 1.0
+                fractions: Optional[np.ndarray] = None
+                if cs is not None:
+                    roster = self._rosters[group_id]
+                    survive = cs.survival_mask(
+                        roster.members, roster.round_label, roster.seq
+                    )
+                    survivors = [
+                        w for w, ok in zip(roster.members, survive) if ok
+                    ]
+                    self.history.workers_dropped += len(roster.members) - len(
+                        survivors
+                    )
+                    if len(survivors) < self._quorum(group_id):
+                        # Mid-round dropouts pushed the group below quorum:
+                        # abort without a global update (the round never
+                        # happened for staleness accounting) and escalate.
+                        self.scheduler.abort_group(group_id)
+                        if self._register_quorum_failure(group_id) != "park":
+                            self._dispatch_group(
+                                queue,
+                                group_id,
+                                ready_time + self.exp.fault.retry_backoff,
+                                self.scheduler.current_round + 1,
+                            )
+                        continue
+                    self._retry_counts[group_id] = 0
+                    self._consecutive_failures[group_id] = 0
+                    participants = survivors
+                    if self.exp.fault.renormalize_survivors and len(
+                        survivors
+                    ) < len(members):
+                        # Survivors carry the full group's data mass:
+                        # Σα_members / Σα_survivors.
+                        weight_scale = float(
+                            self.alphas[members].sum()
+                            / self.alphas[survivors].sum()
+                        )
+                    fractions = cs.completion_fractions(
+                        survivors, roster.round_label, roster.seq
+                    )
+
                 event = self.scheduler.complete_aggregation(group_id)
                 t = event.round_index
 
@@ -284,39 +491,59 @@ class GroupedAsyncTrainer(BaseTrainer):
                     # The whole group trains as one batched tensor pass when
                     # the model supports it (scalar per-worker fallback
                     # otherwise).
-                    local_vectors = self.local_update_group(members, base, t)
+                    local_vectors = self.local_update_group(participants, base, t)
 
-                upload = self.upload_time(members, t)
+                if fractions is not None and np.any(fractions < 1.0):
+                    # Partial local work: w ← base + f · (w − base), i.e.
+                    # the worker only completed fraction f of its local
+                    # round.  Copy first — the stack may be a view into a
+                    # reused scratch buffer or the shared-memory arena.
+                    self.history.partial_updates += int(
+                        np.count_nonzero(fractions < 1.0)
+                    )
+                    stacked = np.asarray(local_vectors).copy()
+                    stacked -= base
+                    stacked *= fractions.astype(stacked.dtype)[:, None]
+                    stacked += base
+                    local_vectors = stacked
+
+                upload = self.upload_time(participants, t)
                 # The group can only start its aggregation once the shared
                 # uplink is free; with many small groups this queueing delay
                 # dominates.
                 upload_start = max(ready_time, self._channel_busy_until)
                 update_time = upload_start + upload
                 self._channel_busy_until = update_time
-                # Both timing draws below are pure functions of
-                # (group, round), so evaluating next_ready before the
-                # aggregation consumes no RNG state out of order.
-                next_ready = update_time + self.group_compute_time(group_id, t + 1)
-
-                if pipelining and (max_time is None or update_time < max_time):
-                    # Overlap: dispatch the predicted next group's training
-                    # to the pool *before* the parent starts this round's
-                    # aggregation, so both proceed concurrently.
-                    spec = self._submit_speculation(
-                        queue, (next_ready, group_id), t, max_rounds, max_time
+                if cs is None:
+                    # Both timing draws below are pure functions of
+                    # (group, round), so evaluating next_ready before the
+                    # aggregation consumes no RNG state out of order.
+                    next_ready = update_time + self.group_compute_time(
+                        group_id, t + 1
                     )
 
+                    if pipelining and (max_time is None or update_time < max_time):
+                        # Overlap: dispatch the predicted next group's
+                        # training to the pool *before* the parent starts
+                        # this round's aggregation, so both proceed
+                        # concurrently.
+                        spec = self._submit_speculation(
+                            queue, (next_ready, group_id), t, max_rounds, max_time
+                        )
+
                 new_global, info = self.aggregate_group(
-                    group_id, members, local_vectors, t
+                    group_id, participants, local_vectors, t,
+                    weight_scale=weight_scale,
                 )
-                if self.staleness_exponent > 0.0 and event.staleness > 0:
+                if self._staleness_policy is not None and event.staleness > 0:
                     # Staleness-aware damping (extension, off by default):
                     # shrink the contribution of updates computed from old
-                    # global models.
-                    weight = 1.0 / (1.0 + event.staleness) ** self.staleness_exponent
-                    new_global = (
-                        1.0 - weight
-                    ) * self.global_vector + weight * new_global
+                    # global models by the policy's s(τ).
+                    weight = self._staleness_policy.weight(event.staleness)
+                    if weight < 1.0:
+                        new_global = (
+                            1.0 - weight
+                        ) * self.global_vector + weight * new_global
                 # Swap (not copy) the trainer-owned update buffer into place.
                 self._commit_global(new_global)
                 if consumed is not None:
@@ -327,14 +554,17 @@ class GroupedAsyncTrainer(BaseTrainer):
                 # starts its next local round.
                 np.copyto(self._group_base[group_id], self.global_vector)
                 self._base_versions[group_id] += 1
-                heapq.heappush(queue, (next_ready, group_id))
+                if cs is None:
+                    heapq.heappush(queue, (next_ready, group_id))
+                else:
+                    self._dispatch_group(queue, group_id, update_time, t + 1)
 
                 self.record_round(
                     round_index=t,
                     time=update_time,
                     staleness=event.staleness,
                     group_id=group_id,
-                    num_participants=len(members),
+                    num_participants=len(participants),
                     round_energy=info.get("round_energy_j", 0.0),
                     sigma=info.get("sigma", float("nan")),
                     eta=info.get("eta", float("nan")),

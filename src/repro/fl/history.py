@@ -50,12 +50,39 @@ class TrainingHistory:
     order.  They are execution statistics, not simulated quantities — the
     ``records`` of a pipelined run are bit-identical to the serial run's
     (float64), while these counters naturally differ.
+
+    The fault counters summarize the device-realism layer
+    (``experiment.clientstate`` + ``experiment.fault``), and *are*
+    simulated quantities — two runs of the same scenario produce identical
+    values: ``workers_unavailable`` counts members absent at a group
+    dispatch, ``workers_dropped`` members lost mid-round,
+    ``partial_updates`` survivor updates scaled by a completion fraction
+    < 1, ``quorum_retries`` / ``quorum_skips`` below-quorum rounds that
+    were retried with backoff / abandoned, and ``groups_parked`` groups
+    removed from the event loop after too many consecutive failures.  All
+    stay 0 without a fault model.
     """
+
+    #: The fault counters, in serialization order.
+    FAULT_COUNTERS = (
+        "workers_unavailable",
+        "workers_dropped",
+        "partial_updates",
+        "quorum_retries",
+        "quorum_skips",
+        "groups_parked",
+    )
 
     mechanism: str
     records: List[RoundRecord] = field(default_factory=list)
     pipeline_hits: int = 0
     pipeline_recomputes: int = 0
+    workers_unavailable: int = 0
+    workers_dropped: int = 0
+    partial_updates: int = 0
+    quorum_retries: int = 0
+    quorum_skips: int = 0
+    groups_parked: int = 0
 
     # ------------------------------------------------------------------
     def append(self, record: RoundRecord) -> None:
@@ -173,21 +200,24 @@ class TrainingHistory:
             "max_staleness": float(self.max_staleness()),
         }
 
+    def fault_counters(self) -> Dict[str, int]:
+        """The device-fault counters as a dict (all zero without faults)."""
+        return {name: int(getattr(self, name)) for name in self.FAULT_COUNTERS}
+
     def downsample(self, max_points: int = 200) -> "TrainingHistory":
         """Return a copy keeping at most ``max_points`` evenly spaced records."""
         if max_points < 1:
             raise ValueError("max_points must be >= 1")
-        if len(self.records) <= max_points:
-            return TrainingHistory(
-                self.mechanism, list(self.records),
-                pipeline_hits=self.pipeline_hits,
-                pipeline_recomputes=self.pipeline_recomputes,
-            )
-        idx = np.linspace(0, len(self.records) - 1, max_points).astype(int)
-        return TrainingHistory(
-            self.mechanism, [self.records[i] for i in idx],
+        counters = dict(
             pipeline_hits=self.pipeline_hits,
             pipeline_recomputes=self.pipeline_recomputes,
+            **self.fault_counters(),
+        )
+        if len(self.records) <= max_points:
+            return TrainingHistory(self.mechanism, list(self.records), **counters)
+        idx = np.linspace(0, len(self.records) - 1, max_points).astype(int)
+        return TrainingHistory(
+            self.mechanism, [self.records[i] for i in idx], **counters
         )
 
     # ------------------------------------------------------------------
@@ -198,7 +228,9 @@ class TrainingHistory:
 
         ``pipeline_hits`` / ``pipeline_recomputes`` are included as
         top-level execution statistics; compare ``records`` (not the whole
-        dict) when asserting serial-vs-pipelined determinism.
+        dict) when asserting serial-vs-pipelined determinism.  The fault
+        counters travel under the ``"faults"`` key (omitted from older
+        files, which deserialize with all counters zero).
         """
         return {
             "mechanism": self.mechanism,
@@ -206,6 +238,7 @@ class TrainingHistory:
             "summary": self.summary(),
             "pipeline_hits": self.pipeline_hits,
             "pipeline_recomputes": self.pipeline_recomputes,
+            "faults": self.fault_counters(),
         }
 
     @classmethod
@@ -213,10 +246,17 @@ class TrainingHistory:
         """Inverse of :meth:`to_dict`."""
         if "mechanism" not in data or "records" not in data:
             raise ValueError("history dict must contain 'mechanism' and 'records'")
+        faults = data.get("faults") or {}
+        if not isinstance(faults, dict):
+            raise ValueError("'faults' must be a mapping of counter names")
+        unknown = sorted(set(faults) - set(cls.FAULT_COUNTERS))
+        if unknown:
+            raise ValueError(f"unknown fault counters {unknown}")
         history = cls(
             mechanism=str(data["mechanism"]),
             pipeline_hits=int(data.get("pipeline_hits", 0)),
             pipeline_recomputes=int(data.get("pipeline_recomputes", 0)),
+            **{name: int(value) for name, value in faults.items()},
         )
         for raw in data["records"]:
             history.append(RoundRecord(**raw))

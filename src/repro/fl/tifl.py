@@ -32,11 +32,14 @@ class TiFLTrainer(GroupedAsyncTrainer):
         experiment: FLExperiment,
         num_tiers: int = 5,
         staleness_exponent: float = 0.0,
+        staleness: object = None,
     ) -> None:
         if num_tiers < 1:
             raise ValueError("num_tiers must be >= 1")
         self.num_tiers = num_tiers
-        super().__init__(experiment, staleness_exponent=staleness_exponent)
+        super().__init__(
+            experiment, staleness_exponent=staleness_exponent, staleness=staleness
+        )
 
     # ------------------------------------------------------------------
     def build_groups(self) -> List[List[int]]:
@@ -59,12 +62,13 @@ class TiFLTrainer(GroupedAsyncTrainer):
         member_ids: Sequence[int],
         local_vectors: Sequence[np.ndarray],
         round_index: int,
+        weight_scale: float = 1.0,
     ) -> Tuple[np.ndarray, Dict[str, float]]:
         # OMA uploads are assumed reliable: the server receives each model
         # exactly and applies Eq. (8).  Writing into the trainer-owned
         # update buffer keeps the aggregation allocation-free.
         new_global = self.exact_group_update(
-            member_ids, local_vectors, out=self._update_out
+            member_ids, local_vectors, out=self._update_out, weight_scale=weight_scale
         )
         return new_global, {}
 

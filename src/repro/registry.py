@@ -16,6 +16,8 @@ kind                      examples
 ``"latency"``             ``uniform``, ``homogeneous``
 ``"mechanism"``           ``fedavg``, ``tifl``, …, ``air_fedga``
 ``"model"``               ``lr``, ``mnist_cnn``, ``cifar_cnn``, ``mini_vgg``
+``"clientstate"``         ``always-on``, ``bernoulli``, ``dropout-rejoin``
+``"staleness"``           ``constant``, ``hinge``, ``polynomial``
 ========================  ==========================================
 
 Components self-register at import time via the :func:`register`
@@ -69,6 +71,8 @@ COMPONENT_KINDS: Tuple[str, ...] = (
     "latency",
     "mechanism",
     "model",
+    "clientstate",
+    "staleness",
 )
 
 #: Human-facing labels used in error messages (kept identical to the
@@ -78,6 +82,8 @@ _KIND_LABELS: Dict[str, str] = {
     "partitioner": "partition strategy",
     "channel": "channel kind",
     "latency": "latency model",
+    "clientstate": "client-state model",
+    "staleness": "staleness policy",
 }
 
 #: Modules whose import populates the standard kinds (each calls
@@ -88,8 +94,10 @@ _COMPONENT_MODULES: Tuple[str, ...] = (
     "repro.data.partition",
     "repro.channel.fading",
     "repro.sim.latency",
+    "repro.sim.clientstate",
     "repro.nn.models",
     "repro.fl.registry",
+    "repro.fl.staleness",
 )
 
 _REGISTRY: Dict[str, Dict[str, Callable[..., Any]]] = {}

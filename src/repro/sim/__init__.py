@@ -1,8 +1,17 @@
-"""Discrete-event simulation substrate: events, engine, latency models."""
+"""Discrete-event simulation substrate: events, engine, latency and fault models."""
 
 from .events import Event, EventType, ExecuteMessage, ReadyMessage
 from .engine import SimulationEngine, SimulationError
 from .latency import HeterogeneityModel, LatencyTable
+from .clientstate import (
+    AlwaysOnModel,
+    BernoulliAvailability,
+    ClientStateModel,
+    CyclicAvailability,
+    DropoutRejoinModel,
+    LognormalAvailability,
+    PartialCompletionModel,
+)
 
 __all__ = [
     "Event",
@@ -13,4 +22,11 @@ __all__ = [
     "SimulationError",
     "HeterogeneityModel",
     "LatencyTable",
+    "ClientStateModel",
+    "AlwaysOnModel",
+    "BernoulliAvailability",
+    "LognormalAvailability",
+    "CyclicAvailability",
+    "DropoutRejoinModel",
+    "PartialCompletionModel",
 ]

@@ -139,6 +139,91 @@ class TestSweepRunner:
         assert row["cpu_count"] >= 1
 
 
+class TestRetries:
+    def _single_point(self):
+        spec = tiny_spec(seed=0)
+        spec["algorithm"] = {"grouping": {"xi": 0.3}}
+        return spec
+
+    def test_transient_failure_retried_to_success(self, monkeypatch):
+        # A flaky first build (e.g. a transient shared-memory init error)
+        # must be absorbed by the retry, yielding a clean success row that
+        # still records the extra attempt.
+        from repro.experiments import sweep as sweep_mod
+
+        real = sweep_mod.Scenario
+        calls = {"n": 0}
+
+        class Flaky:
+            @staticmethod
+            def from_dict(doc):
+                calls["n"] += 1
+                if calls["n"] == 1:
+                    raise OSError("transient shared-memory init failure")
+                return real.from_dict(doc)
+
+        monkeypatch.setattr(sweep_mod, "Scenario", Flaky)
+        row = sweep_mod._execute_point(
+            0, self._single_point(), {}, retries=1, retry_backoff=0.0
+        )
+        assert row["attempts"] == 2
+        assert "summary" in row
+        assert "error" not in row and "traceback" not in row
+
+    def test_exhausted_retries_emit_traceback_row(self):
+        from repro.experiments.sweep import _execute_point
+
+        spec = self._single_point()
+        spec["mechanism"] = {"name": "registered-only-in-parent"}
+        row = _execute_point(0, spec, {}, retries=2, retry_backoff=0.0)
+        assert row["attempts"] == 3
+        assert "unknown mechanism" in row["error"]
+        # The full traceback makes a failed sweep debuggable from JSONL.
+        assert "Traceback (most recent call last)" in row["traceback"]
+        assert "summary" not in row
+
+    def test_success_rows_carry_fault_counters(self):
+        from repro.experiments.sweep import _execute_point
+
+        row = _execute_point(0, self._single_point(), {})
+        assert row["attempts"] == 1
+        assert set(row["faults"]) == {
+            "workers_unavailable", "workers_dropped", "partial_updates",
+            "quorum_retries", "quorum_skips", "groups_parked",
+        }
+        # The tiny spec has no faults section: the always-on default
+        # injects nothing.
+        assert all(v == 0 for v in row["faults"].values())
+
+    def test_runner_validates_retry_arguments(self):
+        with pytest.raises(ValueError, match="retries"):
+            SweepRunner(tiny_spec(), retries=-1)
+        with pytest.raises(ValueError, match="retry_backoff"):
+            SweepRunner(tiny_spec(), retry_backoff=-0.5)
+
+    def test_faulty_sweep_axis_round_trips(self, tmp_path):
+        # A sweep over client-state models: the faults section expands
+        # like any other axis and each row reports its own counters.
+        spec = self._single_point()
+        spec["faults"] = {
+            "clientstate": {
+                "name": "bernoulli",
+                "params": {"availability": [1.0, 0.6], "dropout_prob": 0.3},
+            },
+            "retry_backoff": 0.5,
+        }
+        out = tmp_path / "faults.jsonl"
+        rows = SweepRunner(spec, output=out, mode="serial").run()
+        assert len(rows) == 2
+        by_avail = {
+            row["overrides"]["faults.clientstate.params.availability"]: row
+            for row in rows
+        }
+        assert all("summary" in row for row in rows)
+        assert sum(by_avail[0.6]["faults"].values()) > 0
+        assert by_avail[1.0]["faults"]["workers_dropped"] > 0
+
+
 class TestSweepCLI:
     def test_cli_runs_spec_file(self, tmp_path, capsys):
         spec_path = tmp_path / "spec.json"

@@ -46,6 +46,9 @@ API_COVERAGE_MODULES = (
     "repro.registry",
     "repro.experiments.scenario",
     "repro.experiments.sweep",
+    "repro.sim",
+    "repro.sim.clientstate",
+    "repro.fl.staleness",
 )
 
 #: ``[text](target)`` — excludes images' leading ``!`` only in reporting;
