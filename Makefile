@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-fast test-ci lint bench bench-quick docs-check sweep-smoke chaos-smoke ci
+.PHONY: test test-fast test-ci lint bench bench-quick bench-xl bench-xl-smoke docs-check sweep-smoke chaos-smoke ci
 
 test:            ## full tier-1 suite (tests/ + benchmarks/)
 	$(PYTHON) -m pytest -x -q
@@ -21,6 +21,14 @@ bench:           ## perf suite (scalar reference vs vectorized engine), appends 
 bench-quick:     ## smaller/faster perf smoke run (the CI bench-smoke job); writes BENCH_smoke.json (gitignored) so the committed BENCH_perf_v1.json trajectory stays curated
 	$(PYTHON) -m repro.experiments bench --label smoke --quick
 
+bench-xl:        ## population-scale tier only (10k + 100k workers), appends grouped_round_xl rows to BENCH_perf_v1.json
+	$(PYTHON) -m repro.experiments bench --xl-only --label perf_v1
+
+bench-xl-smoke:  ## the CI xl-smoke job: 10k-worker tier in a fresh subprocess with a 4 GB peak-RSS budget; writes BENCH_xl_smoke.json (gitignored) + results/bench_xl_smoke.jsonl
+	$(PYTHON) -m repro.experiments bench --xl-only --xl-workers 10000 \
+		--xl-rss-budget-mb 4096 --xl-jsonl results/bench_xl_smoke.jsonl \
+		--label xl_smoke
+
 docs-check:      ## link-check docs/*.md + README, run doctest on their fenced examples, and check docs/API.md covers every repro.fl/parallel/core/registry/scenario/sweep export (the CI docs job)
 	$(PYTHON) tools/check_docs.py
 
@@ -31,4 +39,4 @@ chaos-smoke:     ## fault-injection smoke (the CI chaos job): chaos-marked tests
 	$(PYTHON) -m pytest -q -m chaos
 	$(PYTHON) -m repro.experiments sweep examples/chaos_smoke.json --output results/chaos_smoke.jsonl
 
-ci: lint test-ci bench-quick docs-check sweep-smoke chaos-smoke  ## reproduce the full CI pipeline locally
+ci: lint test-ci bench-quick bench-xl-smoke docs-check sweep-smoke chaos-smoke  ## reproduce the full CI pipeline locally

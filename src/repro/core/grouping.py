@@ -13,9 +13,13 @@ subject to the intra-group time-similarity constraint
 Two alternative strategies are provided for the baselines and ablations:
 
 * :func:`tier_grouping` — TiFL-style tiers formed purely by local-training
-  time quantiles (ignores data distribution), and
+  time quantiles (ignores data distribution),
 * :func:`random_grouping` — uniformly random assignment into a fixed number
-  of groups.
+  of groups, and
+* :func:`contiguous_grouping` — index-contiguous blocks as int64 arrays;
+  O(N) with no per-worker Python objects, the strategy used by the XL
+  (10k–1M worker) bench tiers where greedy's O(N²) evaluations are
+  unaffordable.
 """
 
 from __future__ import annotations
@@ -25,9 +29,14 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..channel.aircomp import aircomp_latency
 from .config import AirFedGAConfig
 from .convergence import grouping_objective
-from .timing import GroupTiming
+from .timing import (
+    average_round_time,
+    estimated_max_staleness,
+    participation_frequencies,
+)
 
 __all__ = [
     "GroupingProblem",
@@ -36,6 +45,7 @@ __all__ = [
     "tier_grouping",
     "random_grouping",
     "singleton_grouping",
+    "contiguous_grouping",
 ]
 
 
@@ -114,9 +124,15 @@ class GroupingProblem:
 
 @dataclass
 class GroupingResult:
-    """A concrete grouping plus the quantities needed downstream."""
+    """A concrete grouping plus the quantities needed downstream.
 
-    groups: List[List[int]]
+    ``groups`` entries are Python lists for the legacy strategies and
+    int64 arrays for :func:`contiguous_grouping` (both index cleanly into
+    per-worker arrays; the array form avoids per-worker Python objects at
+    XL scale).
+    """
+
+    groups: List[Sequence[int]]
     objective: float
     group_times: np.ndarray
     frequencies: np.ndarray
@@ -154,51 +170,69 @@ class GroupingResult:
 def _evaluate_grouping(
     problem: GroupingProblem, groups: Sequence[Sequence[int]], strategy: str
 ) -> GroupingResult:
+    """Score one candidate grouping.
+
+    Per-group quantities are computed with fancy-indexed NumPy reductions
+    over int64 member arrays — no per-member Python loops.  The float64
+    operation sequence matches the original ``GroupTiming``-based
+    implementation exactly (same ``max``/``sum`` reductions over the same
+    values), so objectives and greedy decisions are bit-identical.
+    """
     cfg = problem.config
-    group_lists = [list(g) for g in groups if len(g) > 0]
-    if not group_lists:
+    member_arrays = [
+        np.asarray(g, dtype=np.int64) for g in groups if len(g) > 0
+    ]
+    if not member_arrays:
         raise ValueError("grouping has no non-empty groups")
 
-    timing = GroupTiming(
-        group_local_times=[
-            [float(problem.local_times[w]) for w in members] for members in group_lists
-        ],
-        model_dimension=problem.model_dimension,
-        num_subchannels=cfg.aircomp.num_subchannels,
-        symbol_duration=cfg.aircomp.symbol_duration_s,
+    # L_u (Eq. 33) is membership-independent; L_j = max_i l_i + L_u (Eq. 34).
+    upload = aircomp_latency(
+        problem.model_dimension,
+        cfg.aircomp.num_subchannels,
+        cfg.aircomp.symbol_duration_s,
+    )
+    group_times = np.array(
+        [float(problem.local_times[m].max() + upload) for m in member_arrays]
     )
 
     total_data = float(problem.data_sizes.sum())
     betas = np.array(
-        [problem.data_sizes[list(members)].sum() / total_data for members in group_lists]
+        [problem.data_sizes[m].sum() / total_data for m in member_arrays]
     )
     global_dist = problem.global_distribution()
-    lambdas = np.empty(len(group_lists))
-    for g, members in enumerate(group_lists):
-        counts = problem.class_counts[list(members)].sum(axis=0)
+    lambdas = np.empty(len(member_arrays))
+    for g, m in enumerate(member_arrays):
+        counts = problem.class_counts[m].sum(axis=0)
         size = counts.sum()
         dist = counts / size if size > 0 else np.full_like(global_dist, 1.0 / problem.num_classes)
         lambdas[g] = np.abs(dist - global_dist).sum()
 
-    psi = timing.frequencies
-    tau = timing.tau_max_estimate()
+    psi = participation_frequencies(group_times)
+    tau = max(0.0, estimated_max_staleness(group_times) - 1.0)
     objective = grouping_objective(
         cfg.convergence,
-        round_time=timing.round_time,
+        round_time=average_round_time(group_times),
         tau_max=tau,
         psi=psi,
         beta=betas,
         lambdas=lambdas,
         c_max=problem.c_max,
     )
+    # Preserve the caller's group representation: lists stay (copied)
+    # lists; int64 arrays pass through without a per-member conversion.
+    group_out: List[Sequence[int]] = [
+        g if isinstance(g, np.ndarray) else list(g)
+        for g in groups
+        if len(g) > 0
+    ]
     return GroupingResult(
-        groups=group_lists,
+        groups=group_out,
         objective=float(objective),
-        group_times=timing.group_times,
+        group_times=group_times,
         frequencies=psi,
         betas=betas,
         lambdas=lambdas,
-        upload_latency=timing.upload_latency,
+        upload_latency=upload,
         tau_max_estimate=tau,
         strategy=strategy,
     )
@@ -244,12 +278,11 @@ def greedy_grouping(problem: GroupingProblem) -> GroupingResult:
     groups: List[List[int]] = []
     # Upload latency is the same for every grouping (Eq. 33 does not depend
     # on group membership), so compute it once for the constraint check.
-    upload_latency = GroupTiming(
-        group_local_times=[[float(problem.local_times[0])]],
-        model_dimension=problem.model_dimension,
-        num_subchannels=problem.config.aircomp.num_subchannels,
-        symbol_duration=problem.config.aircomp.symbol_duration_s,
-    ).upload_latency
+    upload_latency = aircomp_latency(
+        problem.model_dimension,
+        problem.config.aircomp.num_subchannels,
+        problem.config.aircomp.symbol_duration_s,
+    )
 
     for worker in order:
         worker = int(worker)
@@ -378,3 +411,23 @@ def singleton_grouping(problem: GroupingProblem) -> GroupingResult:
     """
     groups = [[i] for i in range(problem.num_workers)]
     return _evaluate_grouping(problem, groups, "singleton")
+
+
+def contiguous_grouping(problem: GroupingProblem, num_groups: int) -> GroupingResult:
+    """Index-contiguous blocks of workers, returned as int64 arrays.
+
+    The only strategy whose cost is O(N) in both time and Python objects:
+    no per-worker lists, no candidate evaluations.  Combined with the
+    replicated shared-dataset store this is what the ``grouped_round_xl``
+    bench tiers use at 10k–1M workers; at those scales greedy's O(N²)
+    objective evaluations are unaffordable and tier/random still build
+    O(N) Python lists.
+    """
+    if num_groups < 1:
+        raise ValueError("num_groups must be >= 1")
+    num_groups = min(num_groups, problem.num_workers)
+    chunks = np.array_split(
+        np.arange(problem.num_workers, dtype=np.int64), num_groups
+    )
+    groups: List[Sequence[int]] = [c for c in chunks if c.size > 0]
+    return _evaluate_grouping(problem, groups, "contiguous")

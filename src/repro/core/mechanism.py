@@ -23,26 +23,36 @@ Protocol recap (Alg. 1):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
 
 __all__ = ["GroupState", "AggregationEvent", "GroupAsyncScheduler"]
 
 
 @dataclass
 class GroupState:
-    """Per-group bookkeeping at the parameter server."""
+    """Per-group bookkeeping at the parameter server.
+
+    ``members`` is either a Python list (legacy strategies) or an int64
+    array (the XL-scale contiguous strategy); both index per-worker
+    arrays directly and neither is copied per round.
+    """
 
     group_id: int
-    members: List[int]
+    members: Union[List[int], np.ndarray]
     ready_count: int = 0
     ready_workers: set = field(default_factory=set)
     last_received_version: int = 0   # global round index the group last pulled
     aggregations: int = 0
 
     def __post_init__(self) -> None:
-        if not self.members:
+        if len(self.members) == 0:
             raise ValueError("a group must have at least one member")
-        if len(set(self.members)) != len(self.members):
+        if isinstance(self.members, np.ndarray):
+            if np.unique(self.members).size != self.members.size:
+                raise ValueError("duplicate workers in group")
+        elif len(set(self.members)) != len(self.members):
             raise ValueError("duplicate workers in group")
 
     @property
@@ -64,7 +74,7 @@ class AggregationEvent:
     round_index: int          # t, 1-based as in the paper
     group_id: int
     staleness: int            # τ_t
-    member_ids: List[int]
+    member_ids: Union[List[int], np.ndarray]
     base_version: int         # global model version the group trained from
 
 
@@ -79,21 +89,34 @@ class GroupAsyncScheduler:
     """
 
     def __init__(self, groups: Sequence[Sequence[int]]) -> None:
-        if not groups:
+        if len(groups) == 0:
             raise ValueError("at least one group is required")
         self._groups: List[GroupState] = []
-        seen: set[int] = set()
         for gid, members in enumerate(groups):
-            members = list(members)
-            overlap = seen.intersection(members)
-            if overlap:
-                raise ValueError(f"workers assigned to multiple groups: {sorted(overlap)}")
-            seen.update(members)
+            if not isinstance(members, np.ndarray):
+                members = list(members)
             self._groups.append(GroupState(group_id=gid, members=members))
-        self._worker_to_group: Dict[int, int] = {}
-        for state in self._groups:
-            for w in state.members:
-                self._worker_to_group[w] = state.group_id
+        # Cross-group overlap check + worker->group map without per-worker
+        # Python objects (the construction hotspot at 10k+ workers): the
+        # map is a pair of sorted int64 arrays queried by binary search,
+        # not a dict of Python ints.
+        arrays = [
+            np.asarray(state.members, dtype=np.int64) for state in self._groups
+        ]
+        flat = np.concatenate(arrays)
+        owners = np.repeat(
+            np.arange(len(arrays), dtype=np.int64), [a.size for a in arrays]
+        )
+        order = np.argsort(flat, kind="stable")
+        sorted_ids = flat[order]
+        dupes = sorted_ids[1:][sorted_ids[1:] == sorted_ids[:-1]]
+        if dupes.size:
+            overlap = np.unique(dupes).tolist()
+            raise ValueError(
+                f"workers assigned to multiple groups: {sorted(overlap)}"
+            )
+        self._worker_ids = sorted_ids
+        self._worker_owners = owners[order]
         self._round: int = 0
         self._history: List[AggregationEvent] = []
 
@@ -117,13 +140,13 @@ class GroupAsyncScheduler:
         return self._groups[group_id]
 
     def group_of(self, worker_id: int) -> int:
-        try:
-            return self._worker_to_group[worker_id]
-        except KeyError as exc:
-            raise KeyError(f"worker {worker_id} belongs to no group") from exc
+        i = int(np.searchsorted(self._worker_ids, worker_id))
+        if i >= self._worker_ids.size or self._worker_ids[i] != worker_id:
+            raise KeyError(f"worker {worker_id} belongs to no group")
+        return int(self._worker_owners[i])
 
     def workers(self) -> List[int]:
-        return sorted(self._worker_to_group)
+        return self._worker_ids.tolist()
 
     # ------------------------------------------------------------------
     def receive_ready(self, worker_id: int) -> Optional[int]:
@@ -145,6 +168,25 @@ class GroupAsyncScheduler:
             return gid
         return None
 
+    def receive_group_ready(self, group_id: int) -> int:
+        """Process the simultaneous READY of an entire group in O(1).
+
+        The discrete-event loop pops one completion event per group, so
+        every member's READY arrives at the same simulated instant; this
+        single transition replaces ``size`` :meth:`receive_ready` calls
+        (a per-member hotspot at 10k+ workers).  The group must have no
+        straggling partial READY state — mixing the per-worker and
+        group-level APIs within one group round is an error.
+        """
+        state = self.group(group_id)
+        if state.ready_count != 0:
+            raise RuntimeError(
+                f"group {group_id} already has {state.ready_count} partial "
+                "READY messages; group-level READY requires a clean round"
+            )
+        state.ready_count = state.size
+        return group_id
+
     def complete_aggregation(self, group_id: int) -> AggregationEvent:
         """Finalize the global update triggered by ``group_id``.
 
@@ -164,11 +206,14 @@ class GroupAsyncScheduler:
         t = self._round
         base_version = state.last_received_version
         staleness = max(0, t - base_version - 1)
+        # Array-typed groups pass through uncopied (the per-event O(size)
+        # list copy matters once thousands of events accumulate).
+        members = state.members
         event = AggregationEvent(
             round_index=t,
             group_id=group_id,
             staleness=staleness,
-            member_ids=list(state.members),
+            member_ids=members if isinstance(members, np.ndarray) else list(members),
             base_version=base_version,
         )
         self._history.append(event)

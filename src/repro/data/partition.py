@@ -13,6 +13,7 @@ statistics (the α_i, d_i^k quantities of Table II) are exposed directly.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List
 
@@ -30,6 +31,28 @@ __all__ = [
     "PARTITIONERS",
     "make_partition",
 ]
+
+
+class _WorkerIndices(list):
+    """``Partition.indices`` with a deprecated per-worker integer accessor.
+
+    Iteration, ``len``, and slicing behave exactly like a list of int64
+    arrays.  Integer indexing — the per-worker touchpoint the population
+    refactor retires — still works but emits a :class:`DeprecationWarning`
+    pointing at :meth:`Partition.worker_indices` /
+    :meth:`~repro.core.population.Population.shard`.
+    """
+
+    def __getitem__(self, key):
+        if isinstance(key, (int, np.integer)):
+            warnings.warn(
+                "Partition.indices[worker] is deprecated; use "
+                "Partition.worker_indices(worker) or Population.shard(worker) "
+                "instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        return super().__getitem__(key)
 
 
 @dataclass
@@ -53,7 +76,9 @@ class Partition:
     _class_counts: np.ndarray | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
-        self.indices = [np.asarray(ix, dtype=np.int64) for ix in self.indices]
+        self.indices = _WorkerIndices(
+            np.asarray(ix, dtype=np.int64) for ix in self.indices
+        )
         self.labels = np.asarray(self.labels, dtype=np.int64)
 
     # ------------------------------------------------------------------
@@ -62,7 +87,7 @@ class Partition:
         return len(self.indices)
 
     def worker_indices(self, worker: int) -> np.ndarray:
-        return self.indices[worker]
+        return list.__getitem__(self.indices, worker)
 
     def data_sizes(self) -> np.ndarray:
         """Per-worker data sizes ``d_i`` (Table II)."""
@@ -85,15 +110,25 @@ class Partition:
         """Matrix of per-worker per-class sample counts ``d_i^k``.
 
         Shape ``(num_workers, num_classes)``.  Cached after first call.
+        Computed with one flattened ``bincount`` over ``worker·K + label``
+        keys instead of a per-worker Python loop (integer counts, so the
+        result is unchanged; the loop was super-linear in wall time at
+        10k+ workers).
         """
         if self._class_counts is None:
-            counts = np.zeros((self.num_workers, self.num_classes), dtype=np.int64)
-            for i, ix in enumerate(self.indices):
-                if ix.size:
-                    counts[i] = np.bincount(
-                        self.labels[ix], minlength=self.num_classes
-                    )
-            self._class_counts = counts
+            sizes = self.data_sizes()
+            n, k = self.num_workers, self.num_classes
+            if sizes.sum() == 0:
+                self._class_counts = np.zeros((n, k), dtype=np.int64)
+                return self._class_counts
+            flat = np.concatenate([ix for ix in self.indices if ix.size])
+            assigned = self.labels[flat]
+            if assigned.size and (assigned.min() < 0 or assigned.max() >= k):
+                raise ValueError("partition labels out of range for num_classes")
+            owners = np.repeat(np.arange(n, dtype=np.int64), sizes)
+            self._class_counts = np.bincount(
+                owners * k + assigned, minlength=n * k
+            ).reshape(n, k)
         return self._class_counts
 
     def class_distribution(self) -> np.ndarray:

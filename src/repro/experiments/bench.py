@@ -58,6 +58,7 @@ from ..channel.aircomp import (
     ideal_group_average_reference,
 )
 from ..core.config import AirFedGAConfig, GroupingConfig, ParallelismConfig
+from ..fl.base import FLExperiment
 from ..fl.registry import build_trainer
 from .configs import cnn_mnist_config, lr_mnist_config
 from .runner import build_experiment
@@ -67,6 +68,7 @@ __all__ = [
     "bench_grouped_round_cnn",
     "bench_grouped_round_mp",
     "bench_grouped_round_pipeline",
+    "bench_grouped_round_xl",
     "bench_cnn_mnist_mini",
     "bench_aggregation_micro",
     "run_bench_suite",
@@ -421,6 +423,150 @@ def bench_grouped_round_pipeline(
     }
 
 
+def _build_xl_trainer(num_workers: int, group_size: int, shard_size: int = 64):
+    """Construct the partition-less XL Air-FedGA trainer (lazy population).
+
+    The whole point of the tier is that nothing here is O(num_workers) in
+    Python objects or sample storage: the dataset is one small shared
+    buffer served through :meth:`Population.replicated` (overlapping
+    zero-copy windows), worker state lives in the struct-of-arrays
+    :class:`~repro.core.population.WorkerStateTable`, and the grouping is
+    the O(N) ``contiguous`` strategy (int64 block arrays, no per-worker
+    lists anywhere in the event loop).
+    """
+    from .. import registry
+    from ..core.population import Population
+    from ..sim.latency import build_uniform_latency
+
+    dataset = registry.create(
+        "dataset",
+        "synthetic-mnist",
+        num_train=2048,
+        num_test=256,
+        image_size=8,
+        seed=0,
+    ).flattened()
+    latency = build_uniform_latency(
+        num_workers=num_workers, base_time=1.0, heterogeneity_seed=1, seed=2
+    )
+    channel = registry.create(
+        "channel", "static", num_workers=num_workers, spread=2.0, seed=3
+    )
+    population = Population.replicated(
+        dataset,
+        num_workers=num_workers,
+        shard_size=shard_size,
+        latency=latency,
+    )
+    experiment = FLExperiment(
+        dataset=dataset,
+        partition=None,
+        model_factory=lambda: registry.create(
+            "model", "lr", input_dim=64, hidden=16, num_classes=10, seed=0
+        ),
+        latency=latency,
+        channel=channel,
+        config=AirFedGAConfig(grouping=GroupingConfig(xi=1.0)),
+        learning_rate=0.1,
+        local_steps=1,
+        batch_size=32,
+        eval_every=1_000_000,
+        max_eval_samples=32,
+        seed=0,
+        engine="auto",
+        population=population,
+        materialization="lazy",
+    )
+    return build_trainer(
+        "air_fedga",
+        experiment,
+        grouping_strategy="contiguous",
+        num_groups=max(1, num_workers // group_size),
+    )
+
+
+def _xl_worker(num_workers: int, rounds: int, group_size: int, conn) -> None:
+    """Subprocess entry of the XL tier.
+
+    Runs in a fresh ``spawn`` process so ``ru_maxrss`` — a process-lifetime
+    high-water mark on Linux — measures exactly this trainer's peak and
+    not whatever larger tier ran earlier in the parent.
+    """
+    import resource
+
+    build_start = time.perf_counter()
+    trainer = _build_xl_trainer(num_workers, group_size)
+    build_s = time.perf_counter() - build_start
+    start = time.perf_counter()
+    trainer.run(max_rounds=rounds)
+    elapsed = time.perf_counter() - start
+    peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    conn.send(
+        {
+            "num_workers": num_workers,
+            "num_groups": len(trainer.groups),
+            "group_size": group_size,
+            "rounds_timed": rounds,
+            "build_s": build_s,
+            "s_per_round": elapsed / rounds,
+            "rounds_per_sec": rounds / elapsed,
+            "peak_rss_mb": peak_kb / 1024.0,
+            "state_nbytes": int(trainer.worker_state.nbytes),
+            "store_nbytes": int(trainer.population.store.nbytes),
+            "materialization": "lazy",
+        }
+    )
+    conn.close()
+
+
+def bench_grouped_round_xl(
+    num_workers: int,
+    rounds: Optional[int] = None,
+    group_size: int = 64,
+    rss_budget_mb: Optional[float] = None,
+) -> Dict[str, object]:
+    """Time Air-FedGA event-loop rounds at 10k-1M workers, tracking peak RSS.
+
+    Each worker count runs in its own freshly spawned subprocess and
+    reports wall-clock per round plus ``getrusage`` peak RSS, so the rows
+    are comparable across sizes and across runs.  ``rss_budget_mb`` turns
+    the row into an assertion: a peak above the budget raises
+    :class:`RuntimeError` instead of recording a regression silently (the
+    CI smoke job runs the 10k tier under a 4 GB budget).
+
+    The default round budget shrinks with the worker count (48 rounds at
+    10k down to 8 at 1M) so the tier stays a smoke-scale measurement.
+    """
+    import multiprocessing as mp
+
+    rounds = int(rounds or max(8, min(48, 2_000_000 // max(1, num_workers))))
+    ctx = mp.get_context("spawn")
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    proc = ctx.Process(
+        target=_xl_worker, args=(num_workers, rounds, group_size, child_conn)
+    )
+    proc.start()
+    child_conn.close()
+    try:
+        row = parent_conn.recv()
+    except EOFError:
+        proc.join()
+        raise RuntimeError(
+            f"grouped_round_xl subprocess for {num_workers} workers died "
+            f"with exit code {proc.exitcode}"
+        ) from None
+    finally:
+        parent_conn.close()
+    proc.join()
+    if rss_budget_mb is not None and row["peak_rss_mb"] > rss_budget_mb:
+        raise RuntimeError(
+            f"grouped_round_xl at {num_workers} workers peaked at "
+            f"{row['peak_rss_mb']:.0f} MB RSS, over the "
+            f"{rss_budget_mb:.0f} MB budget"
+        )
+    return row
+
+
 def bench_cnn_mnist_mini(max_rounds: int = 12) -> Dict[str, object]:
     """Time a fig4-style CNN-MNIST mini-run end to end.
 
@@ -499,10 +645,16 @@ def run_bench_suite(
     quick: bool = False,
     worker_counts: Sequence[int] = (10, 50, 200),
     num_processes: Optional[int] = None,
+    xl_worker_counts: Sequence[int] = (10_000, 100_000),
+    xl_rounds: Optional[int] = None,
+    xl_rss_budget_mb: Optional[float] = None,
 ) -> Dict[str, object]:
-    """Run all six tiers and return one results record."""
+    """Run all seven tiers and return one results record."""
     if quick:
         worker_counts = tuple(w for w in worker_counts if w <= 50) or (10,)
+        xl_worker_counts = tuple(w for w in xl_worker_counts if w <= 10_000) or (
+            10_000,
+        )
     rounds_per_group = 1 if quick else 3
     repeats = 1 if quick else 3
     grouped = [
@@ -531,6 +683,12 @@ def run_bench_suite(
         )
         for w in worker_counts
     ]
+    grouped_xl = [
+        bench_grouped_round_xl(
+            w, rounds=xl_rounds, rss_budget_mb=xl_rss_budget_mb
+        )
+        for w in xl_worker_counts
+    ]
     cnn = bench_cnn_mnist_mini(max_rounds=4 if quick else 12)
     micro = bench_aggregation_micro(
         dim=50_000 if quick else 200_000, repeats=3 if quick else 5
@@ -542,6 +700,7 @@ def run_bench_suite(
         "grouped_round_cnn": grouped_cnn,
         "grouped_round_mp": grouped_mp,
         "grouped_round_pipeline": grouped_pipeline,
+        "grouped_round_xl": grouped_xl,
         "cnn_mnist_mini": cnn,
         "aggregation_micro": micro,
     }
@@ -596,18 +755,30 @@ def format_bench_summary(record: Dict[str, object]) -> str:
             f"({row['speedup']:.2f}x, {row['pipeline_hits']} hits / "
             f"{row['pipeline_recomputes']} recomputes)"
         )
-    cnn = record["cnn_mnist_mini"]
-    lines.append(
-        f"  CNN-MNIST mini-run ({cnn['max_rounds']} rounds): "
-        f"{cnn['scalar_s']:.2f} s -> {cnn['vectorized_s']:.2f} s "
-        f"({cnn['speedup']:.2f}x)"
-    )
-    micro = record["aggregation_micro"]
-    lines.append(
-        f"  aircomp_aggregate micro (q={micro['dim']}, G={micro['group_size']}): "
-        f"{micro['aircomp_speedup']:.2f}x; ideal average: "
-        f"{micro['average_speedup']:.2f}x"
-    )
+    for row in record.get("grouped_round_xl", []):
+        lines.append(
+            f"  grouped round XL (lazy population), "
+            f"{row['num_workers']:>9,d} workers ({row['num_groups']} groups "
+            f"of {row['group_size']}): "
+            f"{row['s_per_round'] * 1e3:8.1f} ms/round "
+            f"({row['rounds_per_sec']:.1f} rounds/s), "
+            f"peak RSS {row['peak_rss_mb']:.0f} MB, "
+            f"build {row['build_s']:.2f} s"
+        )
+    cnn = record.get("cnn_mnist_mini")
+    if cnn:
+        lines.append(
+            f"  CNN-MNIST mini-run ({cnn['max_rounds']} rounds): "
+            f"{cnn['scalar_s']:.2f} s -> {cnn['vectorized_s']:.2f} s "
+            f"({cnn['speedup']:.2f}x)"
+        )
+    micro = record.get("aggregation_micro")
+    if micro:
+        lines.append(
+            f"  aircomp_aggregate micro (q={micro['dim']}, G={micro['group_size']}): "
+            f"{micro['aircomp_speedup']:.2f}x; ideal average: "
+            f"{micro['average_speedup']:.2f}x"
+        )
     return "\n".join(lines)
 
 
@@ -632,12 +803,56 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--processes", type=int, default=None,
         help="pool size for the grouped_round_mp tier (default: cpu count)",
     )
-    args = parser.parse_args(argv)
-    record = run_bench_suite(
-        quick=args.quick,
-        worker_counts=tuple(args.workers),
-        num_processes=args.processes,
+    parser.add_argument(
+        "--xl-only", action="store_true",
+        help="run only the grouped_round_xl tier (CI smoke / scale probes)",
     )
+    parser.add_argument(
+        "--xl-workers", type=int, nargs="+", default=[10_000, 100_000],
+        help="worker counts for the grouped_round_xl tier",
+    )
+    parser.add_argument(
+        "--xl-rounds", type=int, default=None,
+        help="rounds per XL size (default scales down with the worker count)",
+    )
+    parser.add_argument(
+        "--xl-rss-budget-mb", type=float, default=None,
+        help="fail if any XL row's peak RSS exceeds this many MB",
+    )
+    parser.add_argument(
+        "--xl-jsonl", default=None,
+        help="also write the XL rows to this JSONL file (CI artifact)",
+    )
+    args = parser.parse_args(argv)
+    if args.xl_only:
+        record: Dict[str, object] = {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "quick": args.quick,
+            "grouped_round_xl": [
+                bench_grouped_round_xl(
+                    w,
+                    rounds=args.xl_rounds,
+                    rss_budget_mb=args.xl_rss_budget_mb,
+                )
+                for w in args.xl_workers
+            ],
+        }
+    else:
+        record = run_bench_suite(
+            quick=args.quick,
+            worker_counts=tuple(args.workers),
+            num_processes=args.processes,
+            xl_worker_counts=tuple(args.xl_workers),
+            xl_rounds=args.xl_rounds,
+            xl_rss_budget_mb=args.xl_rss_budget_mb,
+        )
+    if args.xl_jsonl:
+        jsonl_path = Path(args.xl_jsonl)
+        jsonl_path.parent.mkdir(parents=True, exist_ok=True)
+        with jsonl_path.open("w") as fh:
+            for row in record.get("grouped_round_xl", []):
+                fh.write(json.dumps(row) + "\n")
+        print(f"wrote XL rows to {jsonl_path}")
     path = write_bench_results(record, label=args.label, output_dir=args.output_dir)
     print(format_bench_summary(record))
     print(f"appended results to {path}")

@@ -164,6 +164,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--output-dir", default=".")
     bench_p.add_argument("--quick", action="store_true")
     bench_p.add_argument("--workers", type=int, nargs="+", default=[10, 50, 200])
+    bench_p.add_argument("--xl-only", action="store_true")
+    bench_p.add_argument("--xl-workers", type=int, nargs="+", default=[10_000, 100_000])
+    bench_p.add_argument("--xl-rounds", type=int, default=None)
+    bench_p.add_argument("--xl-rss-budget-mb", type=float, default=None)
+    bench_p.add_argument("--xl-jsonl", default=None)
 
     sweep_p = sub.add_parser(
         "sweep",
@@ -291,5 +296,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.quick:
             bench_argv.append("--quick")
         bench_argv += ["--workers"] + [str(w) for w in args.workers]
+        if args.xl_only:
+            bench_argv.append("--xl-only")
+        bench_argv += ["--xl-workers"] + [str(w) for w in args.xl_workers]
+        if args.xl_rounds is not None:
+            bench_argv += ["--xl-rounds", str(args.xl_rounds)]
+        if args.xl_rss_budget_mb is not None:
+            bench_argv += ["--xl-rss-budget-mb", str(args.xl_rss_budget_mb)]
+        if args.xl_jsonl:
+            bench_argv += ["--xl-jsonl", args.xl_jsonl]
         return bench_main(bench_argv)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

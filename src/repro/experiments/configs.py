@@ -91,6 +91,11 @@ class ExperimentConfig:
     #: Group-level fault policy (quorum/retry/renormalization); inert
     #: while ``clientstate_kind`` is ``"always-on"``.
     fault: FaultConfig = field(default_factory=FaultConfig)
+    #: Worker-data materialization (see :mod:`repro.core.population`):
+    #: ``"eager"`` keeps the legacy per-worker copies (bit-identical
+    #: histories), ``"lazy"`` serves zero-copy shard views out of the
+    #: shared dataset store (O(1) per-worker memory at XL scale).
+    materialization: str = "eager"
 
     def scaled(self, **overrides) -> "ExperimentConfig":
         """Return a copy with some fields overridden (for sweeps)."""

@@ -106,6 +106,7 @@ def build_experiment(config: ExperimentConfig) -> FLExperiment:
         engine=config.engine,
         clientstate=clientstate,
         fault=config.fault,
+        materialization=config.materialization,
     )
 
 

@@ -43,6 +43,7 @@ from typing import Any, Callable, Dict, Mapping, Optional
 
 from .. import registry
 from ..core.config import AirFedGAConfig, FaultConfig, ParallelismConfig
+from ..core.population import validate_materialization
 from ..fl.base import BaseTrainer, FLExperiment
 from ..fl.history import TrainingHistory
 from ..fl.registry import build_trainer
@@ -137,13 +138,31 @@ class ComponentSpec:
 
 @dataclass
 class DataSpec(ComponentSpec):
-    """The dataset section: a registered dataset plus the flatten switch."""
+    """The dataset section: a registered dataset plus data-access switches.
+
+    ``materialization`` selects how workers see their shards (see
+    :mod:`repro.core.population`): ``"eager"`` (default) keeps the legacy
+    per-worker copies and therefore bit-identical histories, ``"lazy"``
+    serves zero-copy views out of the shared dataset store — the XL-scale
+    memory mode.  Unknown values fail at construction with did-you-mean
+    suggestions.
+    """
 
     name: str = "synthetic-mnist"
     flatten: bool = False
+    materialization: str = "eager"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        validate_materialization(self.materialization)
 
     def to_dict(self) -> Dict[str, Any]:
-        return {"name": self.name, "params": dict(self.params), "flatten": self.flatten}
+        return {
+            "name": self.name,
+            "params": dict(self.params),
+            "flatten": self.flatten,
+            "materialization": self.materialization,
+        }
 
 
 @dataclass
@@ -567,6 +586,7 @@ class Scenario:
             engine=self.training.engine,
             clientstate=clientstate,
             fault=self.faults.to_fault_config(),
+            materialization=self.data.materialization,
         )
 
     def build(self) -> BaseTrainer:

@@ -32,6 +32,7 @@ import numpy as np
 from ..core.grouping import (
     GroupingProblem,
     GroupingResult,
+    contiguous_grouping,
     greedy_grouping,
     random_grouping,
     singleton_grouping,
@@ -65,11 +66,14 @@ class AirFedGATrainer(GroupedAsyncTrainer):
             The federated experiment definition.
         grouping_strategy:
             ``"greedy"`` (the paper's Algorithm 3, default), ``"tier"``,
-            ``"random"`` or ``"singleton"``.  The alternatives exist for the
-            grouping ablation (E-A2 in DESIGN.md).
+            ``"random"``, ``"singleton"`` or ``"contiguous"``.  The
+            alternatives exist for the grouping ablation (E-A2 in
+            DESIGN.md); ``"contiguous"`` is the O(N) strategy the XL-scale
+            benchmarks use (index-contiguous int64 blocks, no per-worker
+            Python objects).
         num_groups:
-            Group count for the ``tier``/``random`` strategies (ignored by
-            ``greedy``/``singleton``).
+            Group count for the ``tier``/``random``/``contiguous``
+            strategies (ignored by ``greedy``/``singleton``).
         grouping_seed:
             Seed for the ``random`` strategy.
         staleness_exponent:
@@ -80,7 +84,13 @@ class AirFedGATrainer(GroupedAsyncTrainer):
             :mod:`repro.fl.staleness`); mutually exclusive with a non-zero
             ``staleness_exponent``.
         """
-        if grouping_strategy not in {"greedy", "tier", "random", "singleton"}:
+        if grouping_strategy not in {
+            "greedy",
+            "tier",
+            "random",
+            "singleton",
+            "contiguous",
+        }:
             raise ValueError(f"unknown grouping strategy {grouping_strategy!r}")
         self.grouping_strategy = grouping_strategy
         self.num_groups_hint = num_groups
@@ -96,8 +106,11 @@ class AirFedGATrainer(GroupedAsyncTrainer):
         # round, so the grouping objective accounts for the channel noise
         # floor (the paper determines σ*, η* before solving P4).
         gains = exp.channel.gains(0)
-        sizes = exp.partition.data_sizes().astype(np.float64)
-        sizes = np.maximum(sizes, 1e-9)
+        # The population's worker-state table owns the float64 sizes
+        # (value-identical to the legacy partition.data_sizes() +
+        # np.maximum(·, 1e-9) pipeline), so partition-less XL experiments
+        # group through the same code path.
+        sizes = self.worker_state.sizes
         model_bound = max(float(np.linalg.norm(self.global_vector)), 1e-8)
         # Same per-entry noise calibration as the trainer's aggregation step
         # (the paper's σ₀² spread over the q model symbols).
@@ -112,7 +125,7 @@ class AirFedGATrainer(GroupedAsyncTrainer):
         )
         problem = GroupingProblem(
             data_sizes=sizes,
-            class_counts=exp.partition.class_counts(),
+            class_counts=self.population.class_counts(),
             local_times=exp.latency.nominal_times(),
             model_dimension=self.latency_dimension,
             config=exp.config,
@@ -130,10 +143,19 @@ class AirFedGATrainer(GroupedAsyncTrainer):
                 num_groups=self.num_groups_hint or max(1, exp.num_workers // 10),
                 seed=self.grouping_seed,
             )
+        elif self.grouping_strategy == "contiguous":
+            result = contiguous_grouping(
+                problem,
+                num_groups=self.num_groups_hint or max(1, exp.num_workers // 10),
+            )
         else:  # singleton
             result = singleton_grouping(problem)
         self.grouping_result: GroupingResult = result
-        return [list(g) for g in result.groups]
+        # Array-typed groups (the contiguous strategy) pass through uncopied;
+        # legacy strategies keep returning plain int lists.
+        return [
+            g if isinstance(g, np.ndarray) else list(g) for g in result.groups
+        ]
 
     # ------------------------------------------------------------------
     def aggregate_group(

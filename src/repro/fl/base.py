@@ -37,6 +37,7 @@ from ..channel.energy import EnergyTracker
 from ..channel.fading import ChannelModel
 from ..channel.oma import OMAConfig, tdma_round_time
 from ..core.config import AirFedGAConfig, FaultConfig
+from ..core.population import Population, validate_materialization
 from ..core.power_control import PowerControlCache, solve_power_control
 from ..data.partition import Partition
 from ..data.synthetic import Dataset
@@ -82,7 +83,7 @@ class FLExperiment:
     """
 
     dataset: Dataset
-    partition: Partition
+    partition: Optional[Partition]
     model_factory: Callable[[], Model]
     latency: LatencyTable
     channel: ChannelModel
@@ -121,13 +122,41 @@ class FLExperiment:
     #: :class:`repro.core.FaultConfig`.  Inert while ``clientstate`` is
     #: ``None``/always-on.
     fault: FaultConfig = field(default_factory=FaultConfig)
+    #: Worker-data materialization policy: ``"eager"`` (default) gives every
+    #: worker a private fancy-indexed copy of its samples — the legacy,
+    #: bit-identical allocation profile — while ``"lazy"`` hands out
+    #: zero-copy :class:`~repro.core.population.ShardView` slices into one
+    #: shared store (O(1) per worker; the 10k–1M scale path).
+    materialization: str = "eager"
+    #: Pre-built :class:`~repro.core.population.Population`.  Usually left
+    #: ``None`` and built on demand from ``dataset`` + ``partition``; the XL
+    #: bench passes a replicated-store population directly and may then set
+    #: ``partition=None``.
+    population: Optional[Population] = None
 
     def __post_init__(self) -> None:
-        if self.partition.num_workers != self.latency.num_workers:
+        validate_materialization(self.materialization)
+        if self.partition is None and self.population is None:
+            raise ValueError(
+                "experiment needs a partition or a pre-built population"
+            )
+        num_workers = (
+            self.partition.num_workers
+            if self.partition is not None
+            else self.population.num_workers
+        )
+        if (
+            self.population is not None
+            and self.population.num_workers != num_workers
+        ):
+            raise ValueError(
+                "population and partition disagree on the number of workers"
+            )
+        if num_workers != self.latency.num_workers:
             raise ValueError(
                 "partition and latency table disagree on the number of workers"
             )
-        if self.partition.num_workers != self.channel.num_workers:
+        if num_workers != self.channel.num_workers:
             raise ValueError(
                 "partition and channel model disagree on the number of workers"
             )
@@ -149,17 +178,35 @@ class FLExperiment:
             )
         if (
             self.clientstate is not None
-            and self.clientstate.num_workers != self.partition.num_workers
+            and self.clientstate.num_workers != num_workers
         ):
             raise ValueError(
                 "client-state model and partition disagree on the number of "
                 f"workers ({self.clientstate.num_workers} vs "
-                f"{self.partition.num_workers})"
+                f"{num_workers})"
             )
 
     @property
     def num_workers(self) -> int:
-        return self.partition.num_workers
+        if self.partition is not None:
+            return self.partition.num_workers
+        return self.population.num_workers
+
+    def ensure_population(self) -> Population:
+        """The population facade for this experiment, built on first use.
+
+        Standard experiments derive it from ``dataset`` + ``partition``
+        under the experiment's ``materialization`` policy; XL experiments
+        pass a pre-built (e.g. replicated-store) population instead.
+        """
+        if self.population is None:
+            self.population = Population.from_dataset(
+                self.dataset,
+                self.partition,
+                latency=self.latency,
+                materialization=self.materialization,
+            )
+        return self.population
 
 
 class BaseTrainer:
@@ -175,24 +222,29 @@ class BaseTrainer:
         with parameter_dtype(experiment.config.dtype):
             self.model: Model = experiment.model_factory()
         self.global_vector: np.ndarray = self.model.get_vector()
-        self.data_sizes: np.ndarray = experiment.partition.data_sizes().astype(np.float64)
-        if np.any(self.data_sizes <= 0):
-            # Workers with no data cannot contribute gradients; give them a
-            # negligible weight so the α_i normalisation stays well defined.
-            self.data_sizes = np.maximum(self.data_sizes, 1e-9)
-        self.total_data: float = float(self.data_sizes.sum())
-        self.alphas: np.ndarray = self.data_sizes / self.total_data
+        # Struct-of-arrays population surface (repro.core.population): data
+        # sizes, α weights, latencies, staleness and availability counters
+        # live in one WorkerStateTable — no per-worker Python objects.  The
+        # table reproduces the legacy size/alpha computation bit-for-bit
+        # (workers with no data get a negligible 1e-9 weight so the α_i
+        # normalisation stays well defined).
+        self.population: Population = experiment.ensure_population()
+        self.worker_state = self.population.state
+        self.data_sizes: np.ndarray = self.worker_state.sizes
+        self.total_data: float = self.worker_state.total_size
+        self.alphas: np.ndarray = self.worker_state.alphas
         self.history = TrainingHistory(mechanism=self.name)
         self.energy = EnergyTracker(num_workers=experiment.num_workers)
         self._noise_rng = np.random.default_rng(
             np.random.SeedSequence([experiment.seed, 0xA17])
         )
         self._cumulative_energy = 0.0
-        # Pre-compute worker training subsets (views into the dataset).
-        self._worker_data: List[Tuple[np.ndarray, np.ndarray]] = []
-        for i in range(experiment.num_workers):
-            idx = experiment.partition.worker_indices(i)
-            self._worker_data.append(experiment.dataset.subset(idx))
+        # Worker training data through the population: eager materializes
+        # the legacy list of per-worker copies, lazy hands out zero-copy
+        # shard views into the shared store (O(1) per worker).
+        self._worker_data: Sequence[Tuple[np.ndarray, np.ndarray]] = (
+            self.population.worker_data_sequence()
+        )
         # Evaluation subset (fixed across rounds for comparability).
         eval_rng = np.random.default_rng(np.random.SeedSequence([experiment.seed, 0xE7A1]))
         n_test = experiment.dataset.num_test
@@ -260,6 +312,15 @@ class BaseTrainer:
             )
             self._stack_bufs[group_size] = buf
         return buf
+
+    def _release_stack(self, stack: Optional[np.ndarray]) -> None:
+        """Recycle a population-pool group stack after commit.
+
+        No-op for arrays the pool does not own (the per-size cached
+        buffers above, executor arena views, partial-work copies), so
+        event loops may call it unconditionally.
+        """
+        self.population.stack_pool.release(stack)
 
     # ------------------------------------------------------------------
     # Multiprocess execution (config.parallelism)
@@ -566,6 +627,9 @@ class BaseTrainer:
             raise ValueError(f"weight_scale must be positive, got {weight_scale}")
         cfg = self.exp.config.aircomp
         gains_all = self.exp.channel.gains(round_index)
+        # Reference (not copy) the freshest full-population draw in the
+        # state table so diagnostics read gains without a second draw.
+        self.worker_state.record_gains(round_index, gains_all)
         gains = gains_all[member_ids]
         sizes = self.data_sizes[member_ids]
         if weight_scale != 1.0:

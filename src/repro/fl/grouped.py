@@ -130,17 +130,42 @@ class GroupedAsyncTrainer(BaseTrainer):
         self.groups: List[List[int]] = self.build_groups()
         if not self.groups:
             raise ValueError("grouping produced no groups")
-        covered = sorted(w for g in self.groups for w in g)
-        if covered != list(range(experiment.num_workers)):
+        # Int64 member arrays, cached once per group: every per-round
+        # touchpoint (latency sampling, worker-state counters, alpha
+        # masses) indexes with these instead of Python int lists.
+        self._group_arrays: List[np.ndarray] = [
+            np.asarray(g, dtype=np.int64) for g in self.groups
+        ]
+        flat = np.concatenate(self._group_arrays)
+        n = experiment.num_workers
+        valid = flat.size == n
+        if valid:
+            valid = bool(
+                flat.min() >= 0
+                and flat.max() < n
+                and np.all(np.bincount(flat, minlength=n) == 1)
+            )
+        if not valid:
+            covered = np.sort(flat).tolist()
             raise ValueError(
                 "grouping must cover every worker exactly once; "
                 f"got coverage {covered[:10]}..."
             )
         self.scheduler = GroupAsyncScheduler(self.groups)
         # The global-model version each group last received, as a vector.
-        self._group_base: Dict[int, np.ndarray] = {
-            g: self.global_vector.copy() for g in range(len(self.groups))
-        }
+        # Eager materialization keeps the legacy upfront per-group copies;
+        # lazy materialization shares one snapshot of the initial model
+        # among all groups that have not committed yet and allocates a
+        # private base only on a group's first commit — identical values,
+        # O(groups that trained) instead of O(num_groups) memory.
+        self._initial_base: Optional[np.ndarray] = None
+        if self.population.materialization == "lazy":
+            self._group_base: Dict[int, np.ndarray] = {}
+            self._initial_base = self.global_vector.copy()
+        else:
+            self._group_base = {
+                g: self.global_vector.copy() for g in range(len(self.groups))
+            }
         # Monotonic counter per group, bumped whenever _group_base[g] is
         # overwritten.  The pipelined loop records it at speculation-submit
         # time and validates it at commit time: a speculative result is
@@ -202,9 +227,37 @@ class GroupedAsyncTrainer(BaseTrainer):
         raise NotImplementedError
 
     # ------------------------------------------------------------------
+    def _base_of(self, group_id: int) -> np.ndarray:
+        """The global-model vector this group last received (Eq. 5 base)."""
+        base = self._group_base.get(group_id)
+        return base if base is not None else self._initial_base
+
+    def _commit_base(self, group_id: int) -> None:
+        """Record that the group now holds the fresh global model."""
+        base = self._group_base.get(group_id)
+        if base is None:
+            # Lazy mode: first commit of this group — promote it from the
+            # shared initial snapshot to a private base vector.
+            self._group_base[group_id] = self.global_vector.copy()
+        else:
+            np.copyto(base, self.global_vector)
+
+    def _group_stack(self, group_size: int) -> np.ndarray:
+        """Group stacks come from the population's recycling pool.
+
+        Unlike the base class's per-size cache (one live buffer per group
+        size, never freed), the pool bounds live scratch memory by the few
+        in-flight stacks: the event loop releases each stack right after
+        its aggregation commits (:meth:`BaseTrainer._release_stack`).
+        """
+        return self.population.stack_pool.acquire(
+            group_size, self.model.dimension, self.global_vector.dtype
+        )
+
+    # ------------------------------------------------------------------
     def group_compute_time(self, group_id: int, round_index: int) -> float:
         """Local-training duration of a group: its slowest member."""
-        members = self.groups[group_id]
+        members = self._group_arrays[group_id]
         return float(self.exp.latency.sample_times(members, round_index).max())
 
     # ------------------------------------------------------------------
@@ -260,23 +313,30 @@ class GroupedAsyncTrainer(BaseTrainer):
         returns ``False``).
         """
         if self._clientstate is None:
+            self.worker_state.record_dispatch(self._group_arrays[group_id])
             heapq.heappush(
                 queue,
                 (start_time + self.group_compute_time(group_id, round_label), group_id),
             )
             return True
         members = self.groups[group_id]
+        member_arr = self._group_arrays[group_id]
         fault = self.exp.fault
         attempt_start = start_time
         while True:
             seq = self._next_seq(group_id)
-            mask = self._clientstate.availability_mask(members, round_label, seq)
-            active = [w for w, ok in zip(members, mask) if ok]
+            mask = np.asarray(
+                self._clientstate.availability_mask(members, round_label, seq),
+                dtype=bool,
+            )
+            active = member_arr[mask].tolist()
             self.history.workers_unavailable += len(members) - len(active)
+            self.worker_state.record_unavailable(member_arr[~mask])
             if len(active) >= self._quorum(group_id):
                 self._retry_counts[group_id] = 0
                 self._consecutive_failures[group_id] = 0
                 self._rosters[group_id] = _Roster(active, round_label, seq)
+                self.worker_state.record_dispatch(member_arr[mask])
                 ready = attempt_start + float(
                     self.exp.latency.sample_times(active, round_label).max()
                 )
@@ -358,7 +418,7 @@ class GroupedAsyncTrainer(BaseTrainer):
             if next_time > max_time:
                 return None  # the loop stops before the next pop commits
         future = executor.submit_group(
-            members, self._group_base[next_group], round_index + 1
+            members, self._base_of(next_group), round_index + 1
         )
         return _Speculation(
             group_id=next_group,
@@ -402,35 +462,32 @@ class GroupedAsyncTrainer(BaseTrainer):
                 if max_time is not None and ready_time > max_time:
                     break
                 members = self.groups[group_id]
-                # Protocol: every member sends READY; the last one completes
-                # the group and triggers EXECUTE.  (Under faults, absent
-                # members' READY messages are synthesized by the server so
-                # the Alg.-1 counter still reaches |V_j| — the roster below
-                # decides who actually trained.)
-                completed: Optional[int] = None
-                for w in members:
-                    result = self.scheduler.receive_ready(w)
-                    if result is not None:
-                        completed = result
-                if completed is None:
-                    raise RuntimeError(
-                        "group did not complete after all READY messages"
-                    )
+                # Protocol: every member's READY arrives at the same
+                # simulated instant (one completion event per group), so
+                # the server processes them as a single O(1) group-level
+                # transition instead of |V_j| per-worker messages.  (Under
+                # faults, absent members' READY messages are synthesized by
+                # the server so the Alg.-1 counter still reaches |V_j| —
+                # the roster below decides who actually trained.)
+                self.scheduler.receive_group_ready(group_id)
 
-                participants: List[int] = members
+                participants = members
                 weight_scale = 1.0
                 fractions: Optional[np.ndarray] = None
                 if cs is not None:
                     roster = self._rosters[group_id]
-                    survive = cs.survival_mask(
-                        roster.members, roster.round_label, roster.seq
+                    survive = np.asarray(
+                        cs.survival_mask(
+                            roster.members, roster.round_label, roster.seq
+                        ),
+                        dtype=bool,
                     )
-                    survivors = [
-                        w for w, ok in zip(roster.members, survive) if ok
-                    ]
+                    roster_arr = np.asarray(roster.members, dtype=np.int64)
+                    survivors = roster_arr[survive].tolist()
                     self.history.workers_dropped += len(roster.members) - len(
                         survivors
                     )
+                    self.worker_state.record_dropped(roster_arr[~survive])
                     if len(survivors) < self._quorum(group_id):
                         # Mid-round dropouts pushed the group below quorum:
                         # abort without a global update (the round never
@@ -468,7 +525,7 @@ class GroupedAsyncTrainer(BaseTrainer):
                 # batch sampling.  A pipelined run may already hold this
                 # exact round's result from the speculative dispatch made
                 # while the previous aggregation was being committed.
-                base = self._group_base[group_id]
+                base = self._base_of(group_id)
                 consumed: Optional[_Speculation] = None
                 if spec is not None:
                     if (
@@ -484,6 +541,7 @@ class GroupedAsyncTrainer(BaseTrainer):
                         spec.future.discard()
                         self.history.pipeline_recomputes += 1
                     spec = None
+                pool_stack: Optional[np.ndarray] = None
                 if consumed is not None:
                     local_vectors = consumed.future.result()
                     self.history.pipeline_hits += 1
@@ -492,6 +550,7 @@ class GroupedAsyncTrainer(BaseTrainer):
                     # the model supports it (scalar per-worker fallback
                     # otherwise).
                     local_vectors = self.local_update_group(participants, base, t)
+                    pool_stack = local_vectors
 
                 if fractions is not None and np.any(fractions < 1.0):
                     # Partial local work: w ← base + f · (w − base), i.e.
@@ -505,6 +564,9 @@ class GroupedAsyncTrainer(BaseTrainer):
                     stacked -= base
                     stacked *= fractions.astype(stacked.dtype)[:, None]
                     stacked += base
+                    # The copy replaces the raw stack, which can recycle now.
+                    self._release_stack(pool_stack)
+                    pool_stack = None
                     local_vectors = stacked
 
                 upload = self.upload_time(participants, t)
@@ -550,11 +612,20 @@ class GroupedAsyncTrainer(BaseTrainer):
                     # The aggregation has read the speculative stack; its
                     # arena slot may now host the next dispatch.
                     consumed.future.release()
+                # The aggregation has consumed the group stack: return it
+                # to the population pool (no-op for non-pool arrays).
+                self._release_stack(pool_stack)
                 # The group receives the fresh global model and immediately
                 # starts its next local round.
-                np.copyto(self._group_base[group_id], self.global_vector)
+                self._commit_base(group_id)
                 self._base_versions[group_id] += 1
+                if participants is members:
+                    commit_ids = self._group_arrays[group_id]
+                else:
+                    commit_ids = np.asarray(participants, dtype=np.int64)
+                self.worker_state.record_commit(commit_ids, event.staleness)
                 if cs is None:
+                    self.worker_state.record_dispatch(self._group_arrays[group_id])
                     heapq.heappush(queue, (next_ready, group_id))
                 else:
                     self._dispatch_group(queue, group_id, update_time, t + 1)

@@ -45,8 +45,8 @@ class TiFLTrainer(GroupedAsyncTrainer):
     def build_groups(self) -> List[List[int]]:
         exp = self.exp
         problem = GroupingProblem(
-            data_sizes=exp.partition.data_sizes(),
-            class_counts=exp.partition.class_counts(),
+            data_sizes=self.worker_state.raw_sizes,
+            class_counts=self.population.class_counts(),
             local_times=exp.latency.nominal_times(),
             model_dimension=self.latency_dimension,
             config=exp.config,

@@ -51,7 +51,7 @@ client-state model).
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Sequence, Union
 
 import numpy as np
 
@@ -150,28 +150,49 @@ class ClientStateModel:
     # ------------------------------------------------------------------
     # Vectorized queries (what the event loop calls)
     # ------------------------------------------------------------------
+    @staticmethod
+    def _worker_list(worker_ids: Union[Sequence[int], np.ndarray]) -> List[int]:
+        """Normalize a member list or int64 member array to Python ints.
+
+        The grouped event loop passes the population layer's cached int64
+        group arrays; converting once up front keeps every per-worker seed
+        stream keyed by plain ints regardless of the caller's container.
+        """
+        return np.asarray(worker_ids, dtype=np.int64).tolist()
+
     def availability_mask(
-        self, worker_ids: Sequence[int], round_index: int, sequence: int
+        self, worker_ids: Union[Sequence[int], np.ndarray], round_index: int, sequence: int
     ) -> np.ndarray:
         """Boolean mask over ``worker_ids``: available at dispatch time."""
         return np.array(
-            [self.available(w, round_index, sequence) for w in worker_ids], dtype=bool
+            [
+                self.available(w, round_index, sequence)
+                for w in self._worker_list(worker_ids)
+            ],
+            dtype=bool,
         )
 
     def survival_mask(
-        self, worker_ids: Sequence[int], round_index: int, sequence: int
+        self, worker_ids: Union[Sequence[int], np.ndarray], round_index: int, sequence: int
     ) -> np.ndarray:
         """Boolean mask over ``worker_ids``: survived to the aggregation."""
         return np.array(
-            [self.survives(w, round_index, sequence) for w in worker_ids], dtype=bool
+            [
+                self.survives(w, round_index, sequence)
+                for w in self._worker_list(worker_ids)
+            ],
+            dtype=bool,
         )
 
     def completion_fractions(
-        self, worker_ids: Sequence[int], round_index: int, sequence: int
+        self, worker_ids: Union[Sequence[int], np.ndarray], round_index: int, sequence: int
     ) -> np.ndarray:
         """Per-worker completed fraction of the local round, each in (0, 1]."""
         return np.array(
-            [self.completion_fraction(w, round_index, sequence) for w in worker_ids],
+            [
+                self.completion_fraction(w, round_index, sequence)
+                for w in self._worker_list(worker_ids)
+            ],
             dtype=np.float64,
         )
 

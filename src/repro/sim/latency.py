@@ -14,8 +14,9 @@ longer simulated rounds, as they would on real hardware.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -108,23 +109,50 @@ class LatencyTable:
         self._nominal = kappa * self.base_time
 
     # ------------------------------------------------------------------
+    @property
+    def nominal(self) -> np.ndarray:
+        """The deterministic per-worker times ``l_i`` as a read-only view.
+
+        This is the array the population layer references for its
+        :class:`~repro.core.population.WorkerStateTable` ``latencies``
+        field — zero-copy, shared with the table.
+        """
+        view = self._nominal.view()
+        view.flags.writeable = False
+        return view
+
     def nominal_times(self) -> np.ndarray:
         """The deterministic per-worker times ``l_i`` (used by Alg. 3)."""
         return self._nominal.copy()
 
     def nominal_time(self, worker_id: int) -> float:
+        """Deprecated per-worker accessor; use :attr:`nominal` instead.
+
+        Per-worker scalar indexing is the pattern the population refactor
+        retires — at 10k+ workers the call overhead dominates.  The shim
+        forwards to the cached array and emits a :class:`DeprecationWarning`.
+        """
+        warnings.warn(
+            "LatencyTable.nominal_time(worker_id) is deprecated; read the "
+            "LatencyTable.nominal array (or WorkerStateTable.latencies) "
+            "instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if not 0 <= worker_id < self.num_workers:
             raise ValueError(f"invalid worker id {worker_id}")
         return float(self._nominal[worker_id])
 
     def spread(self) -> float:
         """Δl = max_i l_i − min_i l_i (the scale used in constraint 36d)."""
-        times = self.nominal_times()
+        times = self._nominal
         return float(times.max() - times.min())
 
     def sample_time(self, worker_id: int, round_index: int) -> float:
         """Local-training time of one worker in one round (with jitter if set)."""
-        nominal = self.nominal_time(worker_id)
+        if not 0 <= worker_id < self.num_workers:
+            raise ValueError(f"invalid worker id {worker_id}")
+        nominal = float(self._nominal[worker_id])
         if self.jitter_std == 0.0:
             return nominal
         rng = np.random.default_rng(
@@ -134,28 +162,33 @@ class LatencyTable:
         return nominal * factor
 
     def sample_times(
-        self, worker_ids: Sequence[int], round_index: int = 0
+        self, worker_ids: Union[Sequence[int], np.ndarray], round_index: int = 0
     ) -> np.ndarray:
         """Vectorized :meth:`sample_time` over a group of workers.
 
         Identical values to calling :meth:`sample_time` per worker (the
-        jittered path uses the same per-worker seeded draw), but without
-        per-call overhead in the no-jitter common case.
+        jittered path uses the same per-worker seeded draw).  Accepts an
+        int64 member array and bounds-checks it without a Python loop —
+        the per-dispatch hot path of the XL event loop.
         """
-        ids = list(worker_ids)
-        if any(not 0 <= w < self.num_workers for w in ids):
-            bad = next(w for w in ids if not 0 <= w < self.num_workers)
+        ids = np.asarray(worker_ids, dtype=np.int64)
+        if ids.ndim != 1:
+            raise ValueError("worker_ids must be one-dimensional")
+        if ids.size and (ids.min() < 0 or ids.max() >= self.num_workers):
+            bad = ids[(ids < 0) | (ids >= self.num_workers)][0]
             raise ValueError(f"invalid worker id {bad}")
         if self.jitter_std == 0.0:
             return self._nominal[ids]
-        return np.array([self.sample_time(w, round_index) for w in ids])
+        return np.array(
+            [self.sample_time(w, round_index) for w in ids.tolist()]
+        )
 
     def group_completion_time(
-        self, worker_ids: Sequence[int], round_index: int = 0
+        self, worker_ids: Union[Sequence[int], np.ndarray], round_index: int = 0
     ) -> float:
         """Time for a whole group to finish local training (slowest member)."""
-        ids = list(worker_ids)
-        if not ids:
+        ids = np.asarray(worker_ids, dtype=np.int64)
+        if ids.size == 0:
             raise ValueError("group must contain at least one worker")
         return float(self.sample_times(ids, round_index).max())
 

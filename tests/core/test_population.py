@@ -1,0 +1,361 @@
+"""Tests for the population-scale worker state surface (repro.core.population)."""
+
+import numpy as np
+import pytest
+
+from repro import registry
+from repro.core.config import AirFedGAConfig
+from repro.core.grouping import GroupingProblem, contiguous_grouping
+from repro.core.mechanism import GroupAsyncScheduler
+from repro.core.population import (
+    MATERIALIZATIONS,
+    Population,
+    ShardView,
+    SharedDatasetStore,
+    StackPool,
+    WorkerStateTable,
+    validate_materialization,
+)
+from repro.data.partition import partition_iid, partition_label_skew
+from repro.sim.latency import build_uniform_latency
+
+
+def _dataset(num_train=200, image_size=8, seed=0):
+    return registry.create(
+        "dataset",
+        "synthetic-mnist",
+        num_train=num_train,
+        num_test=40,
+        image_size=image_size,
+        seed=seed,
+    ).flattened()
+
+
+# ----------------------------------------------------------------------
+# materialization knob
+# ----------------------------------------------------------------------
+def test_validate_materialization_accepts_known_values():
+    for value in MATERIALIZATIONS:
+        assert validate_materialization(value) == value
+
+
+def test_validate_materialization_did_you_mean():
+    with pytest.raises(ValueError, match=r"did you mean 'lazy'"):
+        validate_materialization("lzay")
+    with pytest.raises(ValueError, match="unknown materialization"):
+        validate_materialization("zzz")
+
+
+# ----------------------------------------------------------------------
+# WorkerStateTable
+# ----------------------------------------------------------------------
+def test_state_table_sizes_bit_identical_to_legacy_ops():
+    raw = np.array([3, 5, 2, 9], dtype=np.int64)
+    table = WorkerStateTable(raw_sizes=raw)
+    # Legacy trainer init: astype(float64), conditional 1e-9 floor,
+    # float(sum) normalization.  All positive -> no floor applied.
+    legacy = raw.astype(np.float64)
+    assert table.sizes.dtype == np.float64
+    np.testing.assert_array_equal(table.sizes, legacy)
+    assert table.total_size == float(legacy.sum())
+    np.testing.assert_array_equal(table.alphas, legacy / float(legacy.sum()))
+
+
+def test_state_table_floors_nonpositive_sizes():
+    table = WorkerStateTable(raw_sizes=np.array([0, 4], dtype=np.int64))
+    np.testing.assert_array_equal(
+        table.sizes, np.maximum(np.array([0.0, 4.0]), 1e-9)
+    )
+
+
+def test_state_table_from_partition_matches_partition_sizes():
+    dataset = _dataset()
+    partition = partition_iid(dataset, num_workers=8, seed=0)
+    latency = build_uniform_latency(8, base_time=2.0, heterogeneity_seed=1, seed=2)
+    table = WorkerStateTable.from_partition(partition, latency=latency)
+    np.testing.assert_array_equal(table.raw_sizes, partition.data_sizes())
+    np.testing.assert_array_equal(table.latencies, latency.nominal)
+    members = np.array([1, 3, 5])
+    assert table.group_latency(members) == pytest.approx(
+        float(latency.nominal[members].max())
+    )
+    assert table.alpha_mass(members) == pytest.approx(
+        float(table.alphas[members].sum())
+    )
+
+
+def test_state_table_recorders():
+    table = WorkerStateTable.uniform(6, shard_size=4)
+    members = np.array([0, 2, 4], dtype=np.int64)
+    table.record_dispatch(members)
+    table.record_dispatch(members)
+    table.record_unavailable(np.array([1], dtype=np.int64))
+    table.record_dropped(np.array([], dtype=np.int64))  # empty is a no-op
+    table.record_commit(members, staleness=3)
+    assert table.dispatches.tolist() == [2, 0, 2, 0, 2, 0]
+    assert table.unavailable.tolist() == [0, 1, 0, 0, 0, 0]
+    assert table.dropped.sum() == 0
+    assert table.staleness[members].tolist() == [3, 3, 3]
+    summary = table.counters_summary()
+    assert summary["dispatches"] == 6
+    assert summary["max_staleness"] == 3
+    assert table.nbytes > 0
+
+
+def test_state_table_rejects_bad_shapes():
+    with pytest.raises(ValueError):
+        WorkerStateTable(raw_sizes=np.empty(0, dtype=np.int64))
+    with pytest.raises(ValueError, match="latencies shape"):
+        WorkerStateTable(
+            raw_sizes=np.array([1, 2]), latencies=np.array([1.0])
+        )
+
+
+# ----------------------------------------------------------------------
+# SharedDatasetStore
+# ----------------------------------------------------------------------
+def test_from_partition_shards_match_legacy_subset_and_are_views():
+    dataset = _dataset()
+    partition = partition_label_skew(
+        dataset, num_workers=10, labels_per_worker=2, seed=0
+    )
+    store = SharedDatasetStore.from_partition(dataset, partition)
+    for w in range(partition.num_workers):
+        x_legacy, y_legacy = dataset.subset(partition.worker_indices(w))
+        shard = store.shard(w)
+        np.testing.assert_array_equal(shard.x, x_legacy)
+        np.testing.assert_array_equal(shard.y, y_legacy)
+        # Zero-copy: slice views into the one shared store.
+        assert np.shares_memory(shard.x, store.x)
+        assert np.shares_memory(shard.y, store.y)
+    np.testing.assert_array_equal(store.data_sizes(), partition.data_sizes())
+    np.testing.assert_array_equal(store.class_counts(), partition.class_counts())
+
+
+def test_replicated_store_aliases_dataset_and_overlaps():
+    dataset = _dataset(num_train=50)
+    store = SharedDatasetStore.replicated(
+        dataset, num_workers=200, shard_size=16, stride=3
+    )
+    assert store.x is dataset.x_train  # zero sample copies
+    assert not store.copied
+    assert store.num_workers == 200
+    np.testing.assert_array_equal(store.data_sizes(), np.full(200, 16))
+    shard = store.shard(7)
+    assert isinstance(shard, ShardView)
+    assert shard.num_samples == 16
+    assert np.shares_memory(shard.x, dataset.x_train)
+    # Class counts stay correct for overlapping windows (brute force check).
+    counts = store.class_counts()
+    for w in (0, 3, 199):
+        expected = np.bincount(
+            store.y[store.starts[w]:store.stops[w]], minlength=dataset.num_classes
+        )
+        np.testing.assert_array_equal(counts[w], expected)
+
+
+def test_store_shard_sequence_is_lazy():
+    dataset = _dataset(num_train=40)
+    store = SharedDatasetStore.replicated(dataset, num_workers=30, shard_size=8)
+    seq = store.shards()
+    assert len(seq) == 30
+    x, y = seq[4]  # tuple unpacking as legacy worker_data[i]
+    assert np.shares_memory(x, store.x)
+    assert np.shares_memory(seq[-1].x, store.x)
+    assert len(seq[2:5]) == 3
+
+
+def test_store_validates_windows():
+    dataset = _dataset(num_train=20)
+    with pytest.raises(ValueError, match="shard_size"):
+        SharedDatasetStore.replicated(dataset, num_workers=4, shard_size=21)
+    with pytest.raises(ValueError, match="out of bounds"):
+        SharedDatasetStore(
+            x=dataset.x_train,
+            y=dataset.y_train,
+            starts=np.array([0]),
+            stops=np.array([999]),
+            num_classes=10,
+        )
+    store = SharedDatasetStore.replicated(dataset, num_workers=4, shard_size=5)
+    with pytest.raises(ValueError, match="invalid worker id"):
+        store.shard(4)
+
+
+# ----------------------------------------------------------------------
+# StackPool / GroupBatch
+# ----------------------------------------------------------------------
+def test_stack_pool_recycles_buffers():
+    pool = StackPool()
+    a = pool.acquire(5, 3)
+    assert a.shape == (5, 3)
+    assert pool.outstanding == 1
+    assert pool.release(a)
+    assert pool.outstanding == 0
+    assert pool.free_buffers == 1
+    b = pool.acquire(4, 3)  # best-fit reuse of the freed 5x3 base
+    assert b.shape == (4, 3)
+    assert pool.free_buffers == 0
+    assert pool.release(b)
+
+
+def test_stack_pool_release_is_noop_for_foreign_arrays():
+    pool = StackPool()
+    foreign = np.zeros((2, 2))
+    assert pool.release(foreign) is False
+    assert pool.release(None) is False
+    assert pool.outstanding == 0
+
+
+def test_group_batch_stacks_and_shards():
+    dataset = _dataset()
+    partition = partition_iid(dataset, num_workers=6, seed=0)
+    population = Population.from_dataset(
+        dataset, partition, materialization="lazy"
+    )
+    batch = population.group_batch([1, 4, 5])
+    assert batch.size == 3
+    shards = batch.shards()
+    assert all(np.shares_memory(s.x, population.store.x) for s in shards)
+    stack = batch.stack(dim=7)
+    assert stack.shape == (3, 7)
+    assert population.stack_pool.outstanding == 1
+    batch.release()
+    assert population.stack_pool.outstanding == 0
+
+
+# ----------------------------------------------------------------------
+# Population facade
+# ----------------------------------------------------------------------
+def test_population_eager_matches_legacy_copies_lazy_shares_memory():
+    dataset = _dataset()
+    partition = partition_label_skew(
+        dataset, num_workers=10, labels_per_worker=2, seed=0
+    )
+    eager = Population.from_dataset(dataset, partition, materialization="eager")
+    lazy = Population.from_dataset(dataset, partition, materialization="lazy")
+    for w in range(10):
+        x_legacy, y_legacy = dataset.subset(partition.worker_indices(w))
+        ex, ey = eager.worker_data(w)
+        lx, ly = lazy.worker_data(w)
+        np.testing.assert_array_equal(ex, x_legacy)
+        np.testing.assert_array_equal(lx, x_legacy)
+        np.testing.assert_array_equal(ey, y_legacy)
+        np.testing.assert_array_equal(ly, y_legacy)
+        assert not np.shares_memory(ex, dataset.x_train)
+        assert np.shares_memory(lx, lazy.store.x)
+    # Eager sequence is a materialized list; lazy is an O(1) view sequence.
+    assert isinstance(eager.worker_data_sequence(), list)
+    lazy_seq = lazy.worker_data_sequence()
+    assert not isinstance(lazy_seq, list)
+    assert np.shares_memory(lazy_seq[3].x, lazy.store.x)
+    np.testing.assert_array_equal(
+        eager.class_counts(), lazy.class_counts()
+    )
+
+
+def test_population_store_is_lazy_until_first_shard():
+    dataset = _dataset()
+    partition = partition_iid(dataset, num_workers=4, seed=0)
+    population = Population.from_dataset(dataset, partition)
+    assert not population.store_built
+    population.shard(0)
+    assert population.store_built
+
+
+def test_population_requires_store_or_dataset():
+    table = WorkerStateTable.uniform(3, shard_size=2)
+    with pytest.raises(ValueError, match="prebuilt store"):
+        Population(table)
+
+
+def test_population_replicated_xl_construction_is_compact():
+    """100k-worker construction smoke: O(N) scalars, O(1) sample storage."""
+    dataset = _dataset(num_train=256)
+    num_workers = 100_000
+    population = Population.replicated(
+        dataset, num_workers=num_workers, shard_size=32
+    )
+    assert population.num_workers == num_workers
+    assert population.materialization == "lazy"
+    # No sample copies at all; the resident footprint is the per-worker
+    # scalar fields (~9 int64/float64 arrays) — well under 100 MB.
+    assert population.store.x is dataset.x_train
+    assert population.nbytes < 100 * 1024 * 1024
+    shard = population.shard(num_workers - 1)
+    assert shard.num_samples == 32
+    assert np.shares_memory(shard.x, dataset.x_train)
+
+
+# ----------------------------------------------------------------------
+# contiguous grouping + group-level READY (the XL event-loop path)
+# ----------------------------------------------------------------------
+def _problem(num_workers):
+    rng = np.random.default_rng(0)
+    return GroupingProblem(
+        data_sizes=np.full(num_workers, 8.0),
+        class_counts=rng.integers(0, 5, size=(num_workers, 4)).astype(float),
+        local_times=np.linspace(1.0, 2.0, num_workers),
+        model_dimension=100,
+        config=AirFedGAConfig(),
+    )
+
+
+def test_contiguous_grouping_covers_all_workers_with_arrays():
+    result = contiguous_grouping(_problem(103), num_groups=10)
+    assert result.strategy == "contiguous"
+    assert len(result.groups) == 10
+    assert all(isinstance(g, np.ndarray) for g in result.groups)
+    flat = np.concatenate(result.groups)
+    np.testing.assert_array_equal(np.sort(flat), np.arange(103))
+
+
+def test_receive_group_ready_equivalent_to_per_member_loop():
+    groups = [np.array([0, 1, 2]), np.array([3, 4])]
+    a = GroupAsyncScheduler(groups)
+    b = GroupAsyncScheduler(groups)
+    for w in (0, 1, 2):
+        completed = a.receive_ready(w)
+    assert completed == 0
+    assert b.receive_group_ready(0) == 0
+    ev_a = a.complete_aggregation(0)
+    ev_b = b.complete_aggregation(0)
+    assert ev_a.round_index == ev_b.round_index == 1
+    assert ev_a.staleness == ev_b.staleness
+    np.testing.assert_array_equal(ev_a.member_ids, ev_b.member_ids)
+
+
+def test_receive_group_ready_rejects_partial_state():
+    scheduler = GroupAsyncScheduler([np.array([0, 1, 2])])
+    scheduler.receive_ready(0)
+    with pytest.raises(RuntimeError, match="partial"):
+        scheduler.receive_group_ready(0)
+
+
+def test_scheduler_array_groups_worker_map():
+    scheduler = GroupAsyncScheduler([np.array([5, 2]), np.array([0, 7])])
+    assert scheduler.group_of(5) == 0
+    assert scheduler.group_of(7) == 1
+    assert scheduler.workers() == [0, 2, 5, 7]
+    with pytest.raises(KeyError):
+        scheduler.group_of(3)
+    with pytest.raises(ValueError, match="multiple groups"):
+        GroupAsyncScheduler([np.array([0, 1]), np.array([1, 2])])
+
+
+# ----------------------------------------------------------------------
+# deprecation shims
+# ----------------------------------------------------------------------
+def test_partition_integer_indexing_is_deprecated_but_forwarding():
+    dataset = _dataset()
+    partition = partition_iid(dataset, num_workers=4, seed=0)
+    with pytest.warns(DeprecationWarning, match="Partition.indices"):
+        legacy = partition.indices[0]
+    np.testing.assert_array_equal(legacy, partition.worker_indices(0))
+    # List-like iteration and len stay silent.
+    import warnings as _warnings
+
+    with _warnings.catch_warnings():
+        _warnings.simplefilter("error")
+        assert len(partition.indices) == 4
+        assert sum(ix.size for ix in partition.indices) == dataset.num_train

@@ -1,0 +1,92 @@
+"""Lazy materialization must not change a single bit of training history.
+
+The population refactor's acceptance contract: at legacy scale, switching
+``data.materialization`` from ``"eager"`` (per-worker copies, the seed's
+allocation profile) to ``"lazy"`` (zero-copy shard views into the shared
+store) leaves every float64 in :class:`TrainingHistory` unchanged — across
+models, ragged groupings and active fault injection.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments.scenario import Scenario
+
+
+def _histories(scenario):
+    eager = scenario.with_(**{"data.materialization": "eager"}).run()
+    lazy = scenario.with_(**{"data.materialization": "lazy"}).run()
+    return eager.to_dict(), lazy.to_dict()
+
+
+def _assert_bit_identical(eager, lazy):
+    assert json.dumps(eager, sort_keys=True) == json.dumps(lazy, sort_keys=True)
+
+
+def test_lazy_matches_eager_mlp_default():
+    _assert_bit_identical(*_histories(Scenario.default()))
+
+
+def test_lazy_matches_eager_cnn():
+    scenario = Scenario.default().with_(
+        model="mnist_cnn",
+        data={"flatten": False},
+        **{"model.params": {"image_size": 8, "scale": 0.15, "num_classes": 10}},
+        **{"training.max_rounds": 5},
+    )
+    _assert_bit_identical(*_histories(scenario))
+
+
+def test_lazy_matches_eager_ragged_groups():
+    # 11 workers over label-skew shards: unequal group sizes downstream.
+    scenario = Scenario.default().with_(num_workers=11)
+    _assert_bit_identical(*_histories(scenario))
+
+
+def test_lazy_matches_eager_with_faults_active():
+    scenario = Scenario.default().with_(
+        faults={
+            "clientstate": {
+                "name": "bernoulli",
+                "params": {"availability": 0.7, "dropout_prob": 0.2},
+            },
+            "retry_backoff": 0.5,
+        }
+    )
+    _assert_bit_identical(*_histories(scenario))
+
+
+def test_lazy_trainer_serves_zero_copy_shards_and_counts_events():
+    from repro.fl.registry import build_trainer
+
+    scenario = Scenario.default().with_(**{"data.materialization": "lazy"})
+    experiment = scenario.build_experiment()
+    trainer = build_trainer(scenario.mechanism.name, experiment)
+    store = trainer.population.store
+    assert np.shares_memory(trainer._worker_data[0].x, store.x)
+    trainer.run(max_rounds=4)
+    counters = trainer.worker_state.counters_summary()
+    assert counters["dispatches"] > 0
+    assert counters["dropped"] == 0  # always-on default: nobody drops
+    # All pooled group stacks were returned on commit.
+    assert trainer.population.stack_pool.outstanding == 0
+
+
+def test_scenario_materialization_round_trips_exactly():
+    scenario = Scenario.default().with_(**{"data.materialization": "lazy"})
+    spec = scenario.to_dict()
+    assert spec["data"]["materialization"] == "lazy"
+    restored = Scenario.from_dict(json.loads(json.dumps(spec)))
+    assert restored.to_dict() == spec
+    assert restored.data.materialization == "lazy"
+    # Default stays eager (the bit-identical path).
+    assert Scenario.default().data.materialization == "eager"
+
+
+def test_scenario_rejects_unknown_materialization_with_hint():
+    with pytest.raises(ValueError, match=r"did you mean 'lazy'"):
+        Scenario.default().with_(**{"data.materialization": "lzay"})

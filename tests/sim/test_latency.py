@@ -64,7 +64,21 @@ class TestLatencyTable:
         het = HeterogeneityModel(num_workers=5, seed=0)
         table = LatencyTable(num_workers=5, base_time=2.0, heterogeneity=het)
         for w in range(5):
-            assert table.sample_time(w, 3) == table.nominal_time(w)
+            assert table.sample_time(w, 3) == table.nominal[w]
+
+    def test_nominal_is_read_only_view(self):
+        table = LatencyTable(num_workers=4, base_time=1.5)
+        view = table.nominal
+        assert np.shares_memory(view, table.nominal)
+        with pytest.raises(ValueError):
+            view[0] = 99.0
+
+    def test_nominal_time_deprecated_but_forwarding(self):
+        het = HeterogeneityModel(num_workers=5, seed=0)
+        table = LatencyTable(num_workers=5, base_time=2.0, heterogeneity=het)
+        with pytest.warns(DeprecationWarning, match="nominal_time"):
+            value = table.nominal_time(2)
+        assert value == table.nominal[2]
 
     def test_jitter_is_deterministic_per_worker_and_round(self):
         table = LatencyTable(num_workers=3, base_time=1.0, jitter_std=0.2, seed=7)
@@ -81,8 +95,11 @@ class TestLatencyTable:
         het = HeterogeneityModel(num_workers=6, seed=1)
         table = LatencyTable(num_workers=6, base_time=1.0, heterogeneity=het)
         members = [0, 2, 4]
-        expected = max(table.nominal_time(w) for w in members)
+        expected = max(table.nominal[w] for w in members)
         assert table.group_completion_time(members) == pytest.approx(expected)
+        assert table.group_completion_time(
+            np.asarray(members, dtype=np.int64)
+        ) == pytest.approx(expected)
 
     def test_group_completion_requires_members(self):
         table = LatencyTable(num_workers=3, base_time=1.0)
@@ -109,4 +126,8 @@ class TestLatencyTable:
     def test_invalid_worker_id(self):
         table = LatencyTable(num_workers=3, base_time=1.0)
         with pytest.raises(ValueError):
+            table.sample_time(7, 0)
+        with pytest.raises(ValueError):
+            table.sample_times([0, 7])
+        with pytest.raises(ValueError), pytest.warns(DeprecationWarning):
             table.nominal_time(7)

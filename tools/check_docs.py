@@ -43,6 +43,7 @@ API_COVERAGE_MODULES = (
     "repro.fl",
     "repro.parallel",
     "repro.core",
+    "repro.core.population",
     "repro.registry",
     "repro.experiments.scenario",
     "repro.experiments.sweep",
