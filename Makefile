@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-fast test-ci lint bench bench-quick bench-xl bench-xl-smoke docs-check sweep-smoke chaos-smoke ci
+.PHONY: test test-fast test-ci lint bench bench-quick bench-xl bench-xl-smoke docs-check sweep-smoke sweep-report sweep-resume-smoke chaos-smoke ci
 
 test:            ## full tier-1 suite (tests/ + benchmarks/)
 	$(PYTHON) -m pytest -x -q
@@ -35,8 +35,19 @@ docs-check:      ## link-check docs/*.md + README, run doctest on their fenced e
 sweep-smoke:     ## 2-point scenario grid on the synthetic dataset (the CI sweep-smoke job); streams per-run summaries to results/sweep_smoke.jsonl
 	$(PYTHON) -m repro.experiments sweep examples/sweep_smoke.json --output results/sweep_smoke.jsonl
 
+sweep-report:    ## render results/sweep_smoke.jsonl into a consolidated markdown report (run `make sweep-smoke` first)
+	$(PYTHON) -m repro.experiments report results/sweep_smoke.jsonl --output results/sweep_report.md
+
+sweep-resume-smoke: ## the CI sweep-resume job: kill/resume durability tests, then a cached sweep relaunched with --resume (reuses every completed point) + consolidated report
+	$(PYTHON) -m pytest -q -m sweep_resume
+	$(PYTHON) -m repro.experiments sweep examples/sweep_smoke.json \
+		--output results/sweep_resume_smoke.jsonl --cache-dir results/sweep_cache
+	$(PYTHON) -m repro.experiments sweep examples/sweep_smoke.json \
+		--output results/sweep_resume_smoke.jsonl --cache-dir results/sweep_cache \
+		--resume --report results/sweep_resume_report.md
+
 chaos-smoke:     ## fault-injection smoke (the CI chaos job): chaos-marked tests + a seeded dropout sweep; streams per-run fault counters to results/chaos_smoke.jsonl
 	$(PYTHON) -m pytest -q -m chaos
 	$(PYTHON) -m repro.experiments sweep examples/chaos_smoke.json --output results/chaos_smoke.jsonl
 
-ci: lint test-ci bench-quick bench-xl-smoke docs-check sweep-smoke chaos-smoke  ## reproduce the full CI pipeline locally
+ci: lint test-ci bench-quick bench-xl-smoke docs-check sweep-smoke sweep-resume-smoke chaos-smoke  ## reproduce the full CI pipeline locally

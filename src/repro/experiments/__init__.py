@@ -9,8 +9,10 @@ from .configs import (
     vgg_imagenet100_config,
 )
 from .runner import ExperimentRun, build_experiment, run_comparison, run_mechanism
-from .scenario import ComponentSpec, DataSpec, Scenario, TimingSpec, TrainingSpec
-from .sweep import SweepRunner, expand_grid, sweep_axes, sweep_points
+from .scenario import ComponentSpec, DataSpec, FaultSpec, Scenario, TimingSpec, TrainingSpec
+from .runcache import RunCache, canonical_spec, spec_hash
+from .sweep import SweepManifest, SweepRunner, expand_grid, sweep_axes, sweep_points
+from .report import load_rows, sweep_report, write_report
 from .figures import (
     ALL_MECHANISMS,
     AIRCOMP_MECHANISMS,
@@ -47,10 +49,18 @@ __all__ = [
     "DataSpec",
     "TimingSpec",
     "TrainingSpec",
+    "FaultSpec",
+    "RunCache",
+    "canonical_spec",
+    "spec_hash",
+    "SweepManifest",
     "SweepRunner",
     "expand_grid",
     "sweep_axes",
     "sweep_points",
+    "load_rows",
+    "sweep_report",
+    "write_report",
     "loss_accuracy_vs_time",
     "grouping_boxplot_data",
     "xi_sweep",

@@ -188,6 +188,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--serial", action="store_true",
         help="run grid points in-process instead of on a process pool",
     )
+    sweep_p.add_argument(
+        "--resume", action="store_true",
+        help="reconcile the existing manifest/JSONL/cache and execute only "
+        "missing, failed and in-flight grid points (identical seeds: the "
+        "merged results are bit-identical to an uninterrupted run)",
+    )
+    sweep_p.add_argument(
+        "--cache-dir", default=None,
+        help="content-addressed run cache directory; completed points found "
+        "there are reused and marked cache_hit in their JSONL row",
+    )
+    sweep_p.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="also write a consolidated sweep report (markdown, or HTML when "
+        "PATH ends in .html) after the sweep finishes",
+    )
+
+    report_p = sub.add_parser(
+        "report",
+        help="consolidate a sweep JSONL results file into a markdown/HTML "
+        "report (overview, per-axis aggregates, fault counters, failures)",
+    )
+    report_p.add_argument("jsonl", help="path to the sweep JSONL results file")
+    report_p.add_argument(
+        "--output", "-o", default=None,
+        help="report path (.html renders HTML, anything else markdown); "
+        "default: print markdown to stdout",
+    )
+    report_p.add_argument(
+        "--format", choices=["markdown", "html"], default=None,
+        help="force the output format (default: inferred from --output suffix)",
+    )
+    report_p.add_argument("--title", default="Sweep report")
     return parser
 
 
@@ -241,17 +274,20 @@ def _command_sweep(args: argparse.Namespace) -> str:
         output=args.output,
         max_workers=args.max_workers,
         mode="serial" if args.serial else "processes",
+        cache_dir=args.cache_dir,
+        resume=args.resume,
     )
     print(
         f"sweep: {len(runner)} run(s) over {len(axes)} axis(es) "
         f"{sorted(axes) if axes else ''} -> {args.output}"
+        f"{' (resuming)' if args.resume else ''}"
     )
     rows = runner.run()
     table_rows = []
     for row in rows:
         if "error" in row:
             table_rows.append(
-                (row["scenario"], row.get("mechanism", "?"), "-", "-", row["error"])
+                (row["scenario"], row.get("mechanism", "?"), "-", "-", "-", row["error"])
             )
             continue
         summary = row["summary"]
@@ -261,14 +297,35 @@ def _command_sweep(args: argparse.Namespace) -> str:
                 row["mechanism"],
                 int(summary["rounds"]),
                 f"{summary['final_accuracy']:.3f}",
+                "hit" if row.get("cache_hit") else "-",
                 row["parallelism_mode"],
             )
         )
-    return format_table(
-        ["scenario", "mechanism", "rounds", "final acc", "parallelism"],
+    hits = sum(1 for row in rows if row.get("cache_hit"))
+    text = format_table(
+        ["scenario", "mechanism", "rounds", "final acc", "cache", "parallelism"],
         table_rows,
-        title=f"Sweep results ({len(rows)} runs, cpu_count={rows[0]['cpu_count']})",
+        title=(
+            f"Sweep results ({len(rows)} runs, {hits} cache hit(s), "
+            f"cpu_count={rows[0]['cpu_count']})"
+        ),
     )
+    if args.report:
+        from .report import write_report
+
+        path = write_report(rows, args.report, title=f"Sweep report: {args.spec}")
+        text += f"\nreport written to {path}"
+    return text
+
+
+def _command_report(args: argparse.Namespace) -> str:
+    from .report import load_rows, sweep_report, write_report
+
+    rows = load_rows(args.jsonl)
+    if args.output is None:
+        return sweep_report(rows, fmt=args.format or "markdown", title=args.title)
+    path = write_report(rows, args.output, fmt=args.format, title=args.title)
+    return f"report over {len(rows)} row(s) written to {path}"
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -288,6 +345,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "sweep":
         print(_command_sweep(args))
+        return 0
+    if args.command == "report":
+        print(_command_report(args))
         return 0
     if args.command == "bench":
         from .bench import main as bench_main

@@ -9,7 +9,13 @@ from __future__ import annotations
 
 from typing import Iterable, List, Mapping, Optional, Sequence
 
-__all__ = ["format_table", "format_series", "format_float", "format_mapping"]
+__all__ = [
+    "format_table",
+    "format_markdown_table",
+    "format_series",
+    "format_float",
+    "format_mapping",
+]
 
 
 def format_float(value: Optional[float], precision: int = 3) -> str:
@@ -57,6 +63,39 @@ def format_table(
     lines.append("  ".join("-" * w for w in widths))
     for r in rendered_rows:
         lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_markdown_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    precision: int = 3,
+) -> str:
+    """Render rows as a GitHub-flavoured markdown table.
+
+    Cell formatting matches :func:`format_table` (floats through
+    :func:`format_float`, ``None`` as ``-``); pipes in cell text are
+    escaped so a value can never break the table structure.  Used by the
+    sweep report generator (:mod:`repro.experiments.report`).
+    """
+    if not headers:
+        raise ValueError("headers must be non-empty")
+
+    def cell(value: object) -> str:
+        if isinstance(value, float) or value is None:
+            text = format_float(value, precision)
+        else:
+            text = str(value)
+        return text.replace("|", "\\|")
+
+    lines = ["| " + " | ".join(cell(h) for h in headers) + " |"]
+    lines.append("|" + "|".join(" --- " for _ in headers) + "|")
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        lines.append("| " + " | ".join(cell(c) for c in row) + " |")
     return "\n".join(lines)
 
 

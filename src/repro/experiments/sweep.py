@@ -1,4 +1,4 @@
-"""Concurrent scenario-grid sweeps with streamed JSONL results.
+"""Concurrent, resumable scenario-grid sweeps with streamed JSONL results.
 
 A *sweep spec* is a scenario document (:meth:`Scenario.to_dict` shape, or
 any subset of it) in which any scalar leaf may instead hold a **list of
@@ -15,14 +15,36 @@ expands to 9 scenarios.  :func:`sweep_axes` lists the axes,
 :func:`expand_grid` materializes the scenarios and :class:`SweepRunner`
 executes them — concurrently on a process pool (scenarios are
 independent simulations, so they parallelize perfectly) — streaming one
-JSON line per completed run to a results file.  Every row carries the
-run's :meth:`~repro.fl.TrainingHistory.summary`, the sweep-axis values
-that produced it, the host ``cpu_count`` and the *resolved* parallelism
-mode (what the trainer actually used, which may be ``"none"`` when a
-requested process pool was unavailable), so results files are
-self-describing for later multi-core analysis.
+JSON line per completed run to a results file.
 
-Exposed on the CLI as ``python -m repro.experiments sweep spec.json``.
+**Durability.**  Three cooperating pieces make big grids restartable:
+
+* every row carries the point's resolved ``spec_hash``
+  (:func:`~repro.experiments.runcache.spec_hash` — content address of the
+  canonical resolved scenario), success and error rows alike, so later
+  launches can tell *which simulation* a row belongs to;
+* a **sweep manifest** (:class:`SweepManifest`) is checkpointed atomically
+  alongside the JSONL stream: grid hash, per-point status
+  (pending/running/done/failed) and cumulative attempt counts;
+* with ``resume=True`` (CLI ``--resume``) the runner reconciles manifest +
+  JSONL + run cache and re-executes **only** missing, failed and in-flight
+  points.  Seeds live in the spec, so re-executed points are bit-identical
+  (float64) to an uninterrupted run; after a resumed run the JSONL is
+  compacted to exactly one row per grid point, in grid order.
+
+An optional content-addressed **run cache**
+(:class:`~repro.experiments.runcache.RunCache`, ``cache_dir=``) shares
+completed summaries *across* sweeps: any point whose resolved spec hash
+is already cached is emitted immediately with ``cache_hit: true`` and
+``attempts: 0``.
+
+Every row is self-describing for downstream tooling
+(:mod:`repro.experiments.report`): see :data:`SWEEP_ROW_KEYS` /
+:data:`SWEEP_SUCCESS_ROW_KEYS` / :data:`SWEEP_ERROR_ROW_KEYS` — the
+documented, golden-tested JSONL schema.
+
+Exposed on the CLI as ``python -m repro.experiments sweep spec.json``
+(``--resume``, ``--cache-dir``, ``--report``).
 """
 
 from __future__ import annotations
@@ -37,9 +59,51 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from .runcache import RunCache, atomic_write_json, grid_hash, spec_hash
 from .scenario import Scenario
 
-__all__ = ["SweepRunner", "expand_grid", "sweep_axes", "sweep_points"]
+__all__ = [
+    "SWEEP_ERROR_ROW_KEYS",
+    "SWEEP_ROW_KEYS",
+    "SWEEP_SUCCESS_ROW_KEYS",
+    "SweepManifest",
+    "SweepRunner",
+    "expand_grid",
+    "sweep_axes",
+    "sweep_points",
+]
+
+#: Keys present on **every** JSONL row (success, error or cache hit).
+#: ``attempts`` counts executions consumed *this launch* (0 for a cache
+#: hit); ``cache_hit`` is true when the row was served from the run
+#: cache.  Golden-tested by ``tests/experiments/test_sweep.py``.
+SWEEP_ROW_KEYS = frozenset(
+    {"index", "scenario", "spec_hash", "overrides", "cpu_count", "attempts", "cache_hit"}
+)
+
+#: Additional keys on successful rows (the documented report-tooling
+#: surface: per-run summary, pipeline and device-fault counters, resolved
+#: execution mode).
+SWEEP_SUCCESS_ROW_KEYS = SWEEP_ROW_KEYS | frozenset(
+    {
+        "mechanism",
+        "engine",
+        "parallelism_configured",
+        "parallelism_mode",
+        "pipeline",
+        "summary",
+        "pipeline_hits",
+        "pipeline_recomputes",
+        "faults",
+    }
+)
+
+#: Additional keys on rows whose point failed every attempt.  The
+#: ``spec_hash`` (inherited from :data:`SWEEP_ROW_KEYS`) is what lets a
+#: later ``--resume`` distinguish "failed, retry me" from "never started".
+SWEEP_ERROR_ROW_KEYS = SWEEP_ROW_KEYS | frozenset(
+    {"error", "traceback", "parallelism_mode"}
+)
 
 
 def _find_axes(node: Mapping[str, Any], prefix: str = "") -> List[Tuple[str, List[Any]]]:
@@ -103,6 +167,7 @@ def _execute_point(
     overrides: Dict[str, Any],
     retries: int = 1,
     retry_backoff: float = 0.5,
+    point_hash: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Run one grid point; returns its JSONL row.  Must stay module-level
     (and take only JSON-native arguments) so process pools can pickle it.
@@ -112,13 +177,19 @@ def _execute_point(
     of real-time backoff before the point is given up on; the emitted
     error row then carries the exception *and* its full traceback string
     so a failed sweep is debuggable from the JSONL alone.  ``attempts``
-    records how many executions the row consumed either way.
+    records how many executions the row consumed either way, and
+    ``point_hash`` (the resolved :func:`~repro.experiments.runcache
+    .spec_hash`, computed by the parent where the spec is known valid) is
+    stamped on success **and** error rows so ``--resume`` can match rows
+    back to grid points.
     """
     row: Dict[str, Any] = {
         "index": index,
         "scenario": str(scenario_dict.get("name", "scenario")),
+        "spec_hash": point_hash,
         "overrides": overrides,
         "cpu_count": os.cpu_count(),
+        "cache_hit": False,
     }
     for attempt in range(retries + 1):
         row["attempts"] = attempt + 1
@@ -156,6 +227,142 @@ def _execute_point(
     return row
 
 
+def _read_jsonl_rows(path: Path) -> List[Dict[str, Any]]:
+    """Parse a JSONL file, skipping undecodable lines.
+
+    A sweep killed mid-write (SIGKILL between ``write`` and ``flush``)
+    can leave a torn final line; tolerating it is what makes the stream
+    safely resumable.
+    """
+    rows: List[Dict[str, Any]] = []
+    for line in path.read_text().splitlines():
+        if not line.strip():
+            continue
+        try:
+            row = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(row, dict):
+            rows.append(row)
+    return rows
+
+
+MANIFEST_VERSION = 1
+
+
+class SweepManifest:
+    """Atomic sidecar checkpoint of a sweep's per-point progress.
+
+    Written next to the JSONL stream (``results.jsonl`` →
+    ``results.manifest.json``) and rewritten atomically
+    (:func:`~repro.experiments.runcache.atomic_write_json`) on every
+    status change, so a SIGKILL at any instant leaves either the previous
+    or the next complete manifest — never a torn one.
+
+    The document records the :func:`~repro.experiments.runcache.grid_hash`
+    of the expanded grid plus, per point: grid ``index``, display
+    ``name``, resolved ``spec_hash``, ``status`` (``pending`` /
+    ``running`` / ``done`` / ``failed``), **cumulative** ``attempts``
+    across launches, ``cache_hit`` and (for failed points) a short
+    ``error`` string.  On ``--resume`` the manifest's grid hash guards
+    against merging progress from a different grid, and its attempt
+    counts let a point that failed every retry in a previous launch be
+    distinguished from one that never started.
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        grid_hash: str,
+        points: List[Dict[str, Any]],
+    ) -> None:
+        self.path = Path(path)
+        self.grid_hash = grid_hash
+        self.points = points
+
+    @classmethod
+    def fresh(
+        cls,
+        path: str | Path,
+        grid_hash: str,
+        names: Sequence[str],
+        hashes: Sequence[str],
+    ) -> "SweepManifest":
+        """A new all-pending manifest for an expanded grid."""
+        points = [
+            {
+                "index": index,
+                "name": str(name),
+                "spec_hash": hash_,
+                "status": "pending",
+                "attempts": 0,
+                "cache_hit": False,
+            }
+            for index, (name, hash_) in enumerate(zip(names, hashes))
+        ]
+        return cls(Path(path), grid_hash, points)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SweepManifest":
+        """Read a manifest written by :meth:`save`; validates the version."""
+        path = Path(path)
+        document = json.loads(path.read_text())
+        if document.get("version") != MANIFEST_VERSION:
+            raise ValueError(
+                f"unsupported sweep manifest version {document.get('version')!r} "
+                f"in {path} (expected {MANIFEST_VERSION})"
+            )
+        points = document.get("points")
+        if not isinstance(points, list):
+            raise ValueError(f"sweep manifest {path} has no point list")
+        return cls(path, str(document.get("grid_hash", "")), points)
+
+    def to_dict(self) -> Dict[str, Any]:
+        done = sum(1 for p in self.points if p.get("status") == "done")
+        failed = sum(1 for p in self.points if p.get("status") == "failed")
+        return {
+            "version": MANIFEST_VERSION,
+            "grid_hash": self.grid_hash,
+            "total": len(self.points),
+            "done": done,
+            "failed": failed,
+            "points": self.points,
+        }
+
+    def save(self) -> Path:
+        """Atomically checkpoint the manifest to :attr:`path`."""
+        return atomic_write_json(self.path, self.to_dict())
+
+    def mark(
+        self,
+        index: int,
+        status: str,
+        attempts: Optional[int] = None,
+        cache_hit: Optional[bool] = None,
+        error: Optional[str] = None,
+        save: bool = True,
+    ) -> None:
+        """Update one point's status (and checkpoint unless ``save=False``)."""
+        point = self.points[index]
+        point["status"] = status
+        if attempts is not None:
+            point["attempts"] = int(attempts)
+        if cache_hit is not None:
+            point["cache_hit"] = bool(cache_hit)
+        if error is not None:
+            point["error"] = str(error)
+        elif status == "done":
+            point.pop("error", None)
+        if save:
+            self.save()
+
+    def attempts(self, index: int) -> int:
+        return int(self.points[index].get("attempts", 0))
+
+    def status(self, index: int) -> str:
+        return str(self.points[index].get("status", "pending"))
+
+
 class SweepRunner:
     """Expand a scenario grid and execute it, streaming JSONL summaries.
 
@@ -187,6 +394,24 @@ class SweepRunner:
     retry_backoff:
         Seconds slept before the first retry (scaled linearly for later
         attempts); 0 disables the sleep.
+    cache_dir:
+        Root of a content-addressed :class:`~repro.experiments.runcache
+        .RunCache`.  Points whose resolved spec hash is already cached
+        are emitted immediately (``cache_hit: true``, ``attempts: 0``);
+        every newly successful point is written back to the cache.
+        ``None`` (default) disables caching.
+    resume:
+        Reconcile an interrupted sweep instead of restarting it: reuse
+        every successful row of the existing JSONL whose ``spec_hash``
+        matches the grid, then execute only the missing / failed /
+        in-flight points (identical seeds ⇒ bit-identical float64
+        summaries).  Requires ``output``; refuses (``ValueError``) when
+        the existing manifest's grid hash does not match this spec.  With
+        nothing to reconcile (first launch) it behaves like a fresh run.
+    manifest:
+        Path of the sweep manifest; default ``output`` with the suffix
+        replaced by ``.manifest.json`` (``None`` only when ``output`` is
+        ``None``, which disables manifest checkpointing).
     """
 
     def __init__(
@@ -198,6 +423,9 @@ class SweepRunner:
         start_method: str = "fork",
         retries: int = 1,
         retry_backoff: float = 0.5,
+        cache_dir: str | Path | None = None,
+        resume: bool = False,
+        manifest: str | Path | None = None,
     ) -> None:
         if mode not in ("processes", "serial"):
             raise ValueError(f"mode must be 'processes' or 'serial', got {mode!r}")
@@ -219,43 +447,192 @@ class SweepRunner:
         if not self.points:
             raise ValueError("sweep grid is empty")
         self.output = Path(output) if output is not None else None
+        if resume and self.output is None:
+            raise ValueError("resume=True requires an output path to reconcile")
         self.max_workers = max_workers
         self.mode = mode
         self.start_method = start_method
         self.retries = retries
         self.retry_backoff = retry_backoff
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.resume = resume
+        if manifest is not None:
+            self.manifest_path: Optional[Path] = Path(manifest)
+        elif self.output is not None:
+            self.manifest_path = self.output.with_suffix(".manifest.json")
+        else:
+            self.manifest_path = None
+        #: Resolved content address of every grid point, in grid order.
+        self.point_hashes = [spec_hash(scenario) for scenario, _ in self.points]
+        #: Content address of the whole expanded grid.
+        self.grid_hash = grid_hash(self.point_hashes)
 
     def __len__(self) -> int:
         return len(self.points)
 
+    # ------------------------------------------------------------------
+    # Resume reconciliation
+    # ------------------------------------------------------------------
+    def _reconcile(self) -> Tuple[Dict[int, Dict[str, Any]], Dict[int, int]]:
+        """Merge manifest + JSONL into (reusable rows, prior attempt counts).
+
+        The JSONL stream is the ground truth for *completed* work: a row
+        is reused iff it carries a ``summary`` and its ``spec_hash``
+        matches the grid point at its index (rows from older schema
+        versions or foreign grids are ignored and re-executed).  The
+        manifest contributes cumulative attempt counts and the grid-hash
+        guard; error rows contribute their attempt counts, which is how a
+        point that failed every retry is distinguished from one that
+        never started.
+        """
+        reused: Dict[int, Dict[str, Any]] = {}
+        prior_attempts: Dict[int, int] = {}
+        if self.manifest_path is not None and self.manifest_path.exists():
+            previous = SweepManifest.load(self.manifest_path)
+            if previous.grid_hash and previous.grid_hash != self.grid_hash:
+                raise ValueError(
+                    f"cannot resume: manifest {self.manifest_path} was written "
+                    f"for a different grid (grid hash {previous.grid_hash[:12]}… "
+                    f"≠ {self.grid_hash[:12]}…); the spec or its expansion "
+                    "changed — start a fresh output instead"
+                )
+            for point in previous.points:
+                index = point.get("index")
+                if isinstance(index, int) and 0 <= index < len(self.points):
+                    prior_attempts[index] = int(point.get("attempts", 0))
+        if self.output is not None and self.output.exists():
+            for row in _read_jsonl_rows(self.output):
+                index = row.get("index")
+                if not isinstance(index, int) or not 0 <= index < len(self.points):
+                    continue
+                if row.get("spec_hash") != self.point_hashes[index]:
+                    continue
+                if "summary" in row and "error" not in row:
+                    reused[index] = row
+                else:
+                    prior_attempts[index] = max(
+                        prior_attempts.get(index, 0), int(row.get("attempts", 0))
+                    )
+        return reused, prior_attempts
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
     def run(self) -> List[Dict[str, Any]]:
         """Execute every grid point; returns the rows ordered by grid index."""
-        payloads = [
-            (index, scenario.to_dict(), overrides, self.retries, self.retry_backoff)
-            for index, (scenario, overrides) in enumerate(self.points)
-        ]
+        cache = RunCache(self.cache_dir) if self.cache_dir is not None else None
+        reused: Dict[int, Dict[str, Any]] = {}
+        prior_attempts: Dict[int, int] = {}
+        if self.resume:
+            reused, prior_attempts = self._reconcile()
+
+        manifest: Optional[SweepManifest] = None
+        if self.manifest_path is not None:
+            manifest = SweepManifest.fresh(
+                self.manifest_path,
+                self.grid_hash,
+                [scenario.name for scenario, _ in self.points],
+                self.point_hashes,
+            )
+            for index, attempts in prior_attempts.items():
+                manifest.points[index]["attempts"] = attempts
+            for index, row in reused.items():
+                manifest.mark(
+                    index,
+                    "done",
+                    attempts=max(prior_attempts.get(index, 0), row.get("attempts", 0)),
+                    cache_hit=bool(row.get("cache_hit")),
+                    save=False,
+                )
+            manifest.save()
+
+        appending = bool(self.resume and self.output is not None and self.output.exists())
         handle = None
         if self.output is not None:
             self.output.parent.mkdir(parents=True, exist_ok=True)
-            handle = self.output.open("w")
-        rows: List[Dict[str, Any]] = []
+            handle = self.output.open("a" if appending else "w")
+        rows: List[Dict[str, Any]] = list(reused.values())
 
         def emit(row: Dict[str, Any]) -> None:
             rows.append(row)
             if handle is not None:
                 handle.write(json.dumps(row) + "\n")
                 handle.flush()
+            if cache is not None and "summary" in row and not row.get("cache_hit"):
+                cache.put(row["spec_hash"], row)
+            if manifest is not None:
+                failed = "error" in row
+                manifest.mark(
+                    row["index"],
+                    "failed" if failed else "done",
+                    attempts=prior_attempts.get(row["index"], 0)
+                    + int(row.get("attempts", 0)),
+                    cache_hit=bool(row.get("cache_hit")),
+                    error=row.get("error"),
+                )
+
+        payloads = []
+        for index, (scenario, overrides) in enumerate(self.points):
+            if index in reused:
+                continue
+            point_hash = self.point_hashes[index]
+            if cache is not None:
+                hit = cache.get(point_hash)
+                if hit is not None:
+                    emit(
+                        {
+                            **hit,
+                            "index": index,
+                            "scenario": scenario.name,
+                            "spec_hash": point_hash,
+                            "overrides": overrides,
+                            "attempts": 0,
+                            "cache_hit": True,
+                        }
+                    )
+                    continue
+            payloads.append(
+                (
+                    index,
+                    scenario.to_dict(),
+                    overrides,
+                    self.retries,
+                    self.retry_backoff,
+                    point_hash,
+                )
+            )
 
         try:
             if self.mode == "serial" or len(payloads) == 1:
                 for payload in payloads:
+                    if manifest is not None:
+                        manifest.mark(payload[0], "running")
                     emit(_execute_point(*payload))
-            else:
+            elif payloads:
+                if manifest is not None:
+                    for payload in payloads:
+                        manifest.mark(payload[0], "running", save=False)
+                    manifest.save()
                 self._run_pool(payloads, emit)
         finally:
             if handle is not None:
                 handle.close()
-        return sorted(rows, key=lambda r: r["index"])
+        rows = sorted(rows, key=lambda r: r["index"])
+        if appending:
+            # A resumed stream may hold superseded rows (an error row whose
+            # point has now succeeded, duplicates from an earlier torn
+            # launch); compact to exactly one row per grid point.
+            self._compact(rows)
+        return rows
+
+    def _compact(self, rows: List[Dict[str, Any]]) -> None:
+        """Atomically rewrite the JSONL as one row per point, grid order."""
+        assert self.output is not None
+        tmp = self.output.with_name(self.output.name + ".tmp")
+        with tmp.open("w") as handle:
+            for row in rows:
+                handle.write(json.dumps(row) + "\n")
+        os.replace(tmp, self.output)
 
     def _run_pool(self, payloads, emit) -> None:
         import multiprocessing

@@ -224,6 +224,142 @@ class TestRetries:
         assert by_avail[1.0]["faults"]["workers_dropped"] > 0
 
 
+class TestRowSchemaGolden:
+    """Golden-schema tests: the documented JSONL row keys downstream
+    report tooling builds on (SWEEP_ROW_KEYS and friends) must all be
+    present on real rows — a silently dropped key is a breaking change."""
+
+    SUMMARY_KEYS = {
+        "mechanism", "rounds", "total_time_s", "avg_round_time_s",
+        "final_loss", "final_accuracy", "best_accuracy", "total_energy_j",
+        "max_staleness",
+    }
+
+    def _single_point(self):
+        spec = tiny_spec(seed=0)
+        spec["algorithm"] = {"grouping": {"xi": 0.3}}
+        return spec
+
+    def test_success_rows_carry_exactly_the_documented_keys(self):
+        from repro.experiments.sweep import SWEEP_SUCCESS_ROW_KEYS
+
+        rows = SweepRunner(self._single_point(), mode="serial").run()
+        assert set(rows[0]) == SWEEP_SUCCESS_ROW_KEYS
+        assert set(rows[0]["summary"]) == self.SUMMARY_KEYS
+        assert rows[0]["cache_hit"] is False
+        assert isinstance(rows[0]["spec_hash"], str) and len(rows[0]["spec_hash"]) == 64
+
+    def test_every_streamed_row_carries_the_core_keys(self, tmp_path):
+        from repro.experiments.sweep import SWEEP_ROW_KEYS
+
+        out = tmp_path / "rows.jsonl"
+        SweepRunner(tiny_spec(), output=out, mode="serial").run()
+        for line in out.read_text().splitlines():
+            row = json.loads(line)
+            assert SWEEP_ROW_KEYS <= set(row)
+
+    def test_error_rows_stay_within_the_documented_keys(self):
+        from repro.experiments.sweep import (
+            SWEEP_ERROR_ROW_KEYS,
+            SWEEP_SUCCESS_ROW_KEYS,
+        )
+
+        spec = tiny_spec(num_workers=500, seed=0)
+        spec["algorithm"] = {"grouping": {"xi": 0.3}}
+        spec["partition"] = {"name": "dirichlet", "params": {}}
+        rows = SweepRunner(spec, mode="serial", retries=0).run()
+        (row,) = rows
+        assert SWEEP_ERROR_ROW_KEYS <= set(row)
+        assert set(row) <= SWEEP_ERROR_ROW_KEYS | SWEEP_SUCCESS_ROW_KEYS
+        # Satellite regression: the failing point's resolved spec hash is
+        # recorded so --resume can tell "failed" from "never started".
+        assert isinstance(row["spec_hash"], str) and len(row["spec_hash"]) == 64
+
+    def test_cache_hit_rows_match_the_success_schema(self, tmp_path):
+        from repro.experiments.sweep import SWEEP_SUCCESS_ROW_KEYS
+
+        spec = self._single_point()
+        cache = tmp_path / "cache"
+        first = SweepRunner(spec, mode="serial", cache_dir=cache).run()
+        second = SweepRunner(spec, mode="serial", cache_dir=cache).run()
+        assert first[0]["cache_hit"] is False
+        assert second[0]["cache_hit"] is True
+        assert second[0]["attempts"] == 0
+        assert set(second[0]) == SWEEP_SUCCESS_ROW_KEYS
+        assert second[0]["summary"] == first[0]["summary"]
+
+
+class TestCacheAndResume:
+    def test_relaunch_against_the_cache_skips_every_point(self, tmp_path):
+        cache = tmp_path / "cache"
+        first = SweepRunner(
+            tiny_spec(), output=tmp_path / "a.jsonl", mode="serial", cache_dir=cache
+        ).run()
+        second = SweepRunner(
+            tiny_spec(), output=tmp_path / "b.jsonl", mode="serial", cache_dir=cache
+        ).run()
+        assert all(row["cache_hit"] for row in second)
+        assert [r["summary"] for r in second] == [r["summary"] for r in first]
+
+    def test_resume_requires_an_output_path(self):
+        with pytest.raises(ValueError, match="resume"):
+            SweepRunner(tiny_spec(), resume=True)
+
+    def test_resume_reexecutes_only_the_missing_point(self, tmp_path, monkeypatch):
+        from repro.experiments import sweep as sweep_mod
+
+        out = tmp_path / "rows.jsonl"
+        reference = SweepRunner(tiny_spec(), output=out, mode="serial").run()
+        # Simulate a kill that lost one completed row (and tore a line).
+        lines = out.read_text().splitlines()
+        out.write_text("\n".join(lines[:2]) + "\n" + lines[3] + "\n" + '{"torn')
+
+        executed = []
+        real = sweep_mod._execute_point
+
+        def counting(*args, **kwargs):
+            executed.append(args[0])
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(sweep_mod, "_execute_point", counting)
+        merged = SweepRunner(
+            tiny_spec(), output=out, mode="serial", resume=True
+        ).run()
+        assert executed == [2]  # exactly the lost point, nothing else
+        assert [row["index"] for row in merged] == [0, 1, 2, 3]
+        # Bit-identical (float64) to the uninterrupted run, including the
+        # re-executed point (identical seeds).
+        assert [r["summary"] for r in merged] == [r["summary"] for r in reference]
+        # The compacted stream covers every point exactly once.
+        final = [json.loads(line) for line in out.read_text().splitlines()]
+        assert [row["index"] for row in final] == [0, 1, 2, 3]
+
+    def test_resume_of_a_complete_sweep_executes_nothing(self, tmp_path, monkeypatch):
+        from repro.experiments import sweep as sweep_mod
+
+        out = tmp_path / "rows.jsonl"
+        SweepRunner(tiny_spec(), output=out, mode="serial").run()
+
+        def explode(*args, **kwargs):  # pragma: no cover - must not be called
+            raise AssertionError("resume re-executed a completed point")
+
+        monkeypatch.setattr(sweep_mod, "_execute_point", explode)
+        rows = SweepRunner(tiny_spec(), output=out, mode="serial", resume=True).run()
+        assert len(rows) == 4 and all("summary" in row for row in rows)
+
+    def test_manifest_checkpoints_alongside_the_stream(self, tmp_path):
+        from repro.experiments.sweep import SweepManifest
+
+        out = tmp_path / "rows.jsonl"
+        runner = SweepRunner(tiny_spec(), output=out, mode="serial")
+        runner.run()
+        manifest = SweepManifest.load(out.with_suffix(".manifest.json"))
+        assert manifest.grid_hash == runner.grid_hash
+        assert [p["status"] for p in manifest.points] == ["done"] * 4
+        assert [p["spec_hash"] for p in manifest.points] == runner.point_hashes
+        assert [p["attempts"] for p in manifest.points] == [1, 1, 1, 1]
+
+
 class TestSweepCLI:
     def test_cli_runs_spec_file(self, tmp_path, capsys):
         spec_path = tmp_path / "spec.json"

@@ -47,6 +47,8 @@ API_COVERAGE_MODULES = (
     "repro.registry",
     "repro.experiments.scenario",
     "repro.experiments.sweep",
+    "repro.experiments.runcache",
+    "repro.experiments.report",
     "repro.sim",
     "repro.sim.clientstate",
     "repro.fl.staleness",
