@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-fast test-ci lint bench bench-quick bench-xl bench-xl-smoke docs-check sweep-smoke sweep-report sweep-resume-smoke chaos-smoke ci
+.PHONY: test test-fast test-ci lint bench bench-quick bench-xl bench-xl-smoke docs-check sweep-smoke sweep-report sweep-resume-smoke chaos-smoke convergence-smoke ci
 
 test:            ## full tier-1 suite (tests/ + benchmarks/)
 	$(PYTHON) -m pytest -x -q
@@ -50,4 +50,10 @@ chaos-smoke:     ## fault-injection smoke (the CI chaos job): chaos-marked tests
 	$(PYTHON) -m pytest -q -m chaos
 	$(PYTHON) -m repro.experiments sweep examples/chaos_smoke.json --output results/chaos_smoke.jsonl
 
-ci: lint test-ci bench-quick bench-xl-smoke docs-check sweep-smoke sweep-resume-smoke chaos-smoke  ## reproduce the full CI pipeline locally
+convergence-smoke: ## mechanism-family convergence smoke (the CI convergence job): convergence-marked trajectory tests + the mechanism_convergence bench tier on a tiny grid; writes results/convergence_smoke.jsonl + BENCH_convergence_smoke.json (gitignored)
+	$(PYTHON) -m pytest -q -m convergence
+	$(PYTHON) -m repro.experiments bench --convergence-only --quick \
+		--convergence-jsonl results/convergence_smoke.jsonl \
+		--label convergence_smoke
+
+ci: lint test-ci bench-quick bench-xl-smoke docs-check sweep-smoke sweep-resume-smoke chaos-smoke convergence-smoke  ## reproduce the full CI pipeline locally

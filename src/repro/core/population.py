@@ -150,6 +150,9 @@ class WorkerStateTable:
         self.dispatches = np.zeros(n, dtype=np.int64)
         self.unavailable = np.zeros(n, dtype=np.int64)
         self.dropped = np.zeros(n, dtype=np.int64)
+        # Registered mechanism state (struct-of-arrays): name -> (N,) or
+        # (N, width) array.  See register_field.
+        self._fields: Dict[str, np.ndarray] = {}
 
     # -- constructors ---------------------------------------------------
 
@@ -191,6 +194,87 @@ class WorkerStateTable:
         """Total aggregation weight of a member array."""
         return float(self.alphas[member_ids].sum())
 
+    # -- registered mechanism fields ------------------------------------
+
+    def register_field(
+        self,
+        name: str,
+        width: int = 1,
+        dtype=np.float64,
+        fill: float = 0.0,
+    ) -> np.ndarray:
+        """Register (or fetch) a named per-worker state array.
+
+        Mechanisms that carry persistent per-worker optimizer state (e.g.
+        FedDyn's drift vectors) store it here as one struct-of-arrays
+        field — ``(N,)`` for scalars, ``(N, width)`` for per-worker
+        vectors — so the state is O(1)-addressable at population scale,
+        survives worker dropout/rejoin untouched, and serializes through
+        :meth:`state_dict`.  Registration is idempotent: re-registering
+        with the same shape and dtype returns the existing array (values
+        preserved); a mismatching spec raises :class:`ValueError`.
+        """
+        if width < 1:
+            raise ValueError(f"field width must be >= 1, got {width}")
+        dt = np.dtype(dtype)
+        n = self.num_workers
+        shape = (n,) if width == 1 else (n, int(width))
+        existing = self._fields.get(name)
+        if existing is not None:
+            if existing.shape != shape or existing.dtype != dt:
+                raise ValueError(
+                    f"field {name!r} already registered with shape "
+                    f"{existing.shape} dtype {existing.dtype}, requested "
+                    f"shape {shape} dtype {dt}"
+                )
+            return existing
+        arr = np.full(shape, fill, dtype=dt)
+        self._fields[name] = arr
+        return arr
+
+    def field(self, name: str) -> np.ndarray:
+        """The registered state array for ``name`` (KeyError if absent)."""
+        try:
+            return self._fields[name]
+        except KeyError:
+            known = sorted(self._fields)
+            raise KeyError(
+                f"no registered field {name!r}; registered fields: {known}"
+            ) from None
+
+    def has_field(self, name: str) -> bool:
+        return name in self._fields
+
+    def field_names(self) -> List[str]:
+        return sorted(self._fields)
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Copies of every registered field (for checkpoint/serialization)."""
+        return {name: arr.copy() for name, arr in self._fields.items()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore registered fields from :meth:`state_dict` output.
+
+        Every key must name an already-registered field of matching shape
+        (mechanisms register their fields at construction, so loading into
+        a freshly built trainer of the same mechanism always succeeds).
+        """
+        for name, value in state.items():
+            if name not in self._fields:
+                known = sorted(self._fields)
+                raise KeyError(
+                    f"cannot load unregistered field {name!r}; "
+                    f"registered fields: {known}"
+                )
+            target = self._fields[name]
+            value = np.asarray(value, dtype=target.dtype)
+            if value.shape != target.shape:
+                raise ValueError(
+                    f"field {name!r} shape mismatch: "
+                    f"{value.shape} vs {target.shape}"
+                )
+            np.copyto(target, value)
+
     @property
     def nbytes(self) -> int:
         total = 0
@@ -208,6 +292,8 @@ class WorkerStateTable:
                 total += arr.nbytes
         if self.gains is not None:
             total += self.gains.nbytes
+        for arr in self._fields.values():
+            total += arr.nbytes
         return total
 
     # -- event-loop recorders (all O(group size), vectorized writes) ----

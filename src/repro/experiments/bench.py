@@ -25,7 +25,12 @@ execution on top:
    pipelined event loop on top (``parallelism.pipeline``): each round's
    parent-side aggregation overlaps the next ready group's speculative
    training, so the measured delta is the aggregation time hidden behind
-   training (see :func:`bench_grouped_round_pipeline`).
+   training (see :func:`bench_grouped_round_pipeline`);
+7. **mechanism_convergence** — a Table-1-style convergence probe of the
+   mechanism families (FedAvg / FedProx / FedDyn / FedAsync / Air-FedGA)
+   on one seeded label-skew workload: final loss/accuracy, simulated time
+   and wall-clock per mechanism, so successive PRs track *convergence*
+   regressions alongside the engine timings.
 
 The ``grouped_round_mp`` / ``grouped_round_pipeline`` rows are annotated
 with ``cpu_count`` so every record is self-describing: multiprocess and
@@ -71,6 +76,7 @@ __all__ = [
     "bench_grouped_round_xl",
     "bench_cnn_mnist_mini",
     "bench_aggregation_micro",
+    "bench_mechanism_convergence",
     "run_bench_suite",
     "write_bench_results",
     "main",
@@ -640,6 +646,77 @@ def bench_aggregation_micro(
     }
 
 
+#: The mechanism families compared by the convergence tier: the paper's
+#: grouped mechanism plus the synchronous-regularized and asynchronous
+#: baselines added for the Table-1-style comparison.
+MECHANISM_FAMILIES = (
+    ("fedavg", {}),
+    ("fedprox", {"mu": 0.05}),
+    ("feddyn", {"alpha_coef": 0.05}),
+    ("fedasync", {}),
+    ("air_fedga", {}),
+)
+
+
+def bench_mechanism_convergence(
+    max_rounds: int = 20,
+    num_workers: int = 10,
+    families: Sequence = MECHANISM_FAMILIES,
+) -> List[Dict[str, object]]:
+    """Convergence probe of the mechanism families on one seeded workload.
+
+    Every family runs the same label-skew LR-MNIST scenario (the fig3
+    shape at smoke scale, fixed seed, ``engine="auto"``) for
+    ``max_rounds`` global rounds — FedAsync counts per-update commits as
+    rounds, so all rows spend a comparable number of local-training
+    dispatches.  Rows record the convergence endpoints (first/final loss,
+    final accuracy), the simulated round clock and the wall-clock cost,
+    plus the mean recorded staleness (non-zero only for the asynchronous
+    mechanisms).  Unlike the timing tiers this is a *trajectory* record:
+    a change in ``final_loss`` at fixed seed means the mechanism's math
+    changed, not just its speed.
+    """
+    rows: List[Dict[str, object]] = []
+    for name, params in families:
+        config = lr_mnist_config(
+            num_workers=num_workers,
+            num_train=30 * num_workers,
+            image_size=8,
+            hidden=16,
+            max_rounds=max_rounds,
+        ).scaled(
+            local_steps=2,
+            batch_size=16,
+            eval_every=1,
+            max_eval_samples=64,
+            engine="auto",
+        )
+        experiment = build_experiment(config)
+        trainer = build_trainer(name, experiment, **params)
+        start = time.perf_counter()
+        history = trainer.run(max_rounds=max_rounds)
+        wall = time.perf_counter() - start
+        losses = [v for v in history.losses() if np.isfinite(v)]
+        staleness = [
+            r.staleness for r in history.records if r.num_participants > 0
+        ]
+        rows.append(
+            {
+                "mechanism": name,
+                "params": dict(params),
+                "num_workers": num_workers,
+                "rounds": history.total_rounds,
+                "initial_loss": float(losses[0]),
+                "final_loss": float(losses[-1]),
+                "final_accuracy": float(history.final_accuracy),
+                "sim_time_s": float(history.total_time),
+                "wall_s": wall,
+                "mean_staleness": float(np.mean(staleness)) if staleness else 0.0,
+            }
+        )
+    return rows
+
+
 # ----------------------------------------------------------------------
 def run_bench_suite(
     quick: bool = False,
@@ -649,7 +726,7 @@ def run_bench_suite(
     xl_rounds: Optional[int] = None,
     xl_rss_budget_mb: Optional[float] = None,
 ) -> Dict[str, object]:
-    """Run all seven tiers and return one results record."""
+    """Run all eight tiers and return one results record."""
     if quick:
         worker_counts = tuple(w for w in worker_counts if w <= 50) or (10,)
         xl_worker_counts = tuple(w for w in xl_worker_counts if w <= 10_000) or (
@@ -693,6 +770,7 @@ def run_bench_suite(
     micro = bench_aggregation_micro(
         dim=50_000 if quick else 200_000, repeats=3 if quick else 5
     )
+    convergence = bench_mechanism_convergence(max_rounds=8 if quick else 20)
     return {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "quick": quick,
@@ -703,6 +781,7 @@ def run_bench_suite(
         "grouped_round_xl": grouped_xl,
         "cnn_mnist_mini": cnn,
         "aggregation_micro": micro,
+        "mechanism_convergence": convergence,
     }
 
 
@@ -779,6 +858,16 @@ def format_bench_summary(record: Dict[str, object]) -> str:
             f"{micro['aircomp_speedup']:.2f}x; ideal average: "
             f"{micro['average_speedup']:.2f}x"
         )
+    for row in record.get("mechanism_convergence", []):
+        params = ", ".join(f"{k}={v}" for k, v in row["params"].items())
+        lines.append(
+            f"  convergence {row['mechanism']:>10s}"
+            f"({params}): loss {row['initial_loss']:.3f} -> "
+            f"{row['final_loss']:.3f}, acc {row['final_accuracy']:.3f} "
+            f"in {row['rounds']} rounds "
+            f"(sim {row['sim_time_s']:.0f} s, wall {row['wall_s']:.2f} s, "
+            f"mean staleness {row['mean_staleness']:.1f})"
+        )
     return "\n".join(lines)
 
 
@@ -823,6 +912,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--xl-jsonl", default=None,
         help="also write the XL rows to this JSONL file (CI artifact)",
     )
+    parser.add_argument(
+        "--convergence-only", action="store_true",
+        help="run only the mechanism_convergence tier (CI smoke job)",
+    )
+    parser.add_argument(
+        "--convergence-rounds", type=int, default=None,
+        help="rounds for the mechanism_convergence tier (default 20, 8 with --quick)",
+    )
+    parser.add_argument(
+        "--convergence-jsonl", default=None,
+        help="also write the convergence rows to this JSONL file (CI artifact)",
+    )
     args = parser.parse_args(argv)
     if args.xl_only:
         record: Dict[str, object] = {
@@ -836,6 +937,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                 )
                 for w in args.xl_workers
             ],
+        }
+    elif args.convergence_only:
+        record = {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "quick": args.quick,
+            "mechanism_convergence": bench_mechanism_convergence(
+                max_rounds=args.convergence_rounds
+                or (8 if args.quick else 20)
+            ),
         }
     else:
         record = run_bench_suite(
@@ -853,6 +963,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             for row in record.get("grouped_round_xl", []):
                 fh.write(json.dumps(row) + "\n")
         print(f"wrote XL rows to {jsonl_path}")
+    if args.convergence_jsonl:
+        jsonl_path = Path(args.convergence_jsonl)
+        jsonl_path.parent.mkdir(parents=True, exist_ok=True)
+        with jsonl_path.open("w") as fh:
+            for row in record.get("mechanism_convergence", []):
+                fh.write(json.dumps(row) + "\n")
+        print(f"wrote convergence rows to {jsonl_path}")
     path = write_bench_results(record, label=args.label, output_dir=args.output_dir)
     print(format_bench_summary(record))
     print(f"appended results to {path}")

@@ -23,6 +23,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..fl import MECHANISMS
 from .configs import EXPERIMENT_CONFIGS
 from .figures import (
     AIRCOMP_MECHANISMS,
@@ -149,7 +150,9 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_p.add_argument("workload", choices=sorted(EXPERIMENT_CONFIGS))
     cmp_p.add_argument(
         "--mechanisms", nargs="+", default=list(AIRCOMP_MECHANISMS),
-        choices=sorted(ALL_MECHANISMS),
+        # Any registered mechanism is comparable, including the FedProx /
+        # FedDyn / FedAsync families beyond the paper's five figures.
+        choices=sorted(MECHANISMS),
     )
     cmp_p.add_argument("--max-time", type=float, default=1500.0)
     cmp_p.add_argument("--workers", type=int, default=None)
@@ -169,6 +172,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--xl-rounds", type=int, default=None)
     bench_p.add_argument("--xl-rss-budget-mb", type=float, default=None)
     bench_p.add_argument("--xl-jsonl", default=None)
+    bench_p.add_argument("--convergence-only", action="store_true")
+    bench_p.add_argument("--convergence-rounds", type=int, default=None)
+    bench_p.add_argument("--convergence-jsonl", default=None)
 
     sweep_p = sub.add_parser(
         "sweep",
@@ -365,5 +371,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             bench_argv += ["--xl-rss-budget-mb", str(args.xl_rss_budget_mb)]
         if args.xl_jsonl:
             bench_argv += ["--xl-jsonl", args.xl_jsonl]
+        if args.convergence_only:
+            bench_argv.append("--convergence-only")
+        if args.convergence_rounds is not None:
+            bench_argv += ["--convergence-rounds", str(args.convergence_rounds)]
+        if args.convergence_jsonl:
+            bench_argv += ["--convergence-jsonl", args.convergence_jsonl]
         return bench_main(bench_argv)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

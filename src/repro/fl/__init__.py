@@ -4,7 +4,8 @@ Public entry points (documented in ``docs/API.md``):
 
 * :func:`build_trainer` / :data:`MECHANISMS` — construct a mechanism by
   registry name: ``"fedavg"``, ``"tifl"``, ``"air_fedavg"``,
-  ``"dynamic"`` or ``"air_fedga"`` (the paper's figure labels);
+  ``"dynamic"``, ``"air_fedga"`` (the paper's figure labels), or the
+  comparison families ``"fedprox"``, ``"feddyn"`` and ``"fedasync"``;
 * :class:`FLExperiment` — the experiment bundle every trainer consumes
   (dataset, partition, model factory, latency table, channel, config);
   its ``engine`` field selects the local-training execution path
@@ -27,6 +28,9 @@ Public entry points (documented in ``docs/API.md``):
 from .base import BaseTrainer, FLExperiment
 from .history import RoundRecord, TrainingHistory
 from .fedavg import FedAvgTrainer
+from .fedprox import FedProxTrainer
+from .feddyn import FedDynTrainer
+from .fedasync import FedAsyncTrainer
 from .air_fedavg import AirFedAvgTrainer
 from .dynamic import DynamicTrainer
 from .grouped import GroupedAsyncTrainer
@@ -47,6 +51,9 @@ __all__ = [
     "RoundRecord",
     "TrainingHistory",
     "FedAvgTrainer",
+    "FedProxTrainer",
+    "FedDynTrainer",
+    "FedAsyncTrainer",
     "AirFedAvgTrainer",
     "DynamicTrainer",
     "GroupedAsyncTrainer",

@@ -41,10 +41,10 @@ from ..core.population import Population, validate_materialization
 from ..core.power_control import PowerControlCache, solve_power_control
 from ..data.partition import Partition
 from ..data.synthetic import Dataset
-from ..nn.batched import BatchedWorkerEngine
+from ..nn.batched import BatchedWorkerEngine, StepTransform
 from ..nn.models import Model
 from ..nn.optim import SGD
-from ..nn.params import parameter_dtype
+from ..nn.params import parameter_dtype, unflatten_vector
 from ..parallel import ProcessGroupExecutor, UnsupportedModelError
 from ..sim.clientstate import ClientStateModel
 from ..sim.latency import LatencyTable
@@ -417,12 +417,31 @@ class BaseTrainer:
     # ------------------------------------------------------------------
     # Worker-side local update (Eq. 4/5)
     # ------------------------------------------------------------------
+    def local_step_transform(
+        self,
+        worker_ids: Sequence[int],
+        base_vector: np.ndarray,
+        round_index: int,
+    ) -> Optional[StepTransform]:
+        """Per-step parameter correction for this group's local training.
+
+        Mechanism families with a regularized local objective override this
+        to return a :class:`~repro.nn.batched.StepTransform` — FedProx's
+        proximal pull toward ``base_vector``, FedDyn's drift correction.
+        The transform is computed **once per group dispatch** (so both
+        execution paths add identical float values) and applied around
+        every SGD step on both the batched engine and the scalar fallback.
+        ``None`` (the default) is the legacy update, untouched.
+        """
+        return None
+
     def local_update(
         self,
         worker_id: int,
         base_vector: np.ndarray,
         round_index: int,
         out: Optional[np.ndarray] = None,
+        transform: Optional[StepTransform] = None,
     ) -> np.ndarray:
         """Run the worker's local SGD starting from ``base_vector``.
 
@@ -430,7 +449,10 @@ class BaseTrainer:
         ``base_vector`` is not modified.  The SGD object is reused across
         calls (it is stateless at momentum 0); the batch-sampling RNG is
         re-derived from ``(seed, worker_id, round_index)`` every call so
-        results stay deterministic and order-independent.
+        results stay deterministic and order-independent.  ``transform``
+        (a :class:`~repro.nn.batched.StepTransform` with a flat ``(q,)``
+        offset for *this* worker) applies the mechanism's per-step affine
+        correction in the same stage order as the batched engine.
         """
         x, y = self._worker_data[worker_id]
         if x.shape[0] == 0:
@@ -443,6 +465,16 @@ class BaseTrainer:
         if self._local_sgd is None:
             self._local_sgd = SGD(self.model.parameters, lr=self.exp.learning_rate)
         optimizer = self._local_sgd
+        params = self.model.parameters
+        offset_blocks = None
+        if transform is not None and transform.offset is not None:
+            if transform.offset.ndim != 1:
+                raise ValueError(
+                    "local_update takes a per-worker (q,) transform offset; "
+                    f"got shape {transform.offset.shape}"
+                )
+            offset_blocks = unflatten_vector(transform.offset, params.shapes())
+        scale = transform.scale if transform is not None else 1.0
         rng = np.random.default_rng(
             np.random.SeedSequence([self.exp.seed, worker_id, round_index, 0x10CA1])
         )
@@ -452,7 +484,17 @@ class BaseTrainer:
             idx = rng.choice(n, size=batch, replace=False)
             optimizer.zero_grad()
             self.model.loss_and_grad(x[idx], y[idx])
+            # StepTransform stages (skipped entirely on the legacy path):
+            # gradients were evaluated at the pre-scale parameters, giving
+            # ``w ← scale·w − lr·∇f(w) + offset`` — the element-wise stage
+            # order the batched engine uses, so both paths stay bit-equal.
+            if scale != 1.0:
+                for p in params:
+                    p.value *= scale
             optimizer.step()
+            if offset_blocks is not None:
+                for p, block in zip(params, offset_blocks):
+                    p.value += block
         return self.model.get_vector(out=out)
 
     def local_update_group(
@@ -479,8 +521,16 @@ class BaseTrainer:
         ``parallelism.min_group_size`` stay in-process.
         """
         ids = list(worker_ids)
+        transform = self.local_step_transform(ids, base_vector, round_index)
         par = self.exp.config.parallelism
-        if par.mode == "processes" and len(ids) >= par.min_group_size:
+        # The process pool knows nothing about step transforms, so groups
+        # with an active mechanism correction always train in-process (the
+        # batched engine still vectorizes them over the group axis).
+        if (
+            transform is None
+            and par.mode == "processes"
+            and len(ids) >= par.min_group_size
+        ):
             executor = self.parallel_executor()
             if executor is not None:
                 return executor.run_group(ids, base_vector, round_index, out=out)
@@ -497,10 +547,19 @@ class BaseTrainer:
                 batch_size=self.exp.batch_size,
                 seed=self.exp.seed,
                 out=out,
+                transform=transform,
             )
         else:
             for k, w in enumerate(ids):
-                self.local_update(w, base_vector, round_index, out=out[k])
+                self.local_update(
+                    w,
+                    base_vector,
+                    round_index,
+                    out=out[k],
+                    transform=(
+                        transform.rows(k) if transform is not None else None
+                    ),
+                )
         return out
 
     # ------------------------------------------------------------------
@@ -720,6 +779,115 @@ class BaseTrainer:
             "pc_cache_hits": float(self.pc_cache_hits),
         }
         return new_global, info
+
+    # ------------------------------------------------------------------
+    # Persistent per-worker mechanism state
+    # ------------------------------------------------------------------
+    def register_worker_state(
+        self,
+        name: str,
+        width: int = 1,
+        dtype=None,
+        fill: float = 0.0,
+    ) -> np.ndarray:
+        """Register a persistent per-worker state field on the population.
+
+        Returns the backing struct-of-arrays field — ``(N,)`` for scalars,
+        ``(N, width)`` for per-worker vectors (pass ``width=q`` for
+        model-sized state such as FedDyn's drift vectors).  The array lives
+        in the :class:`~repro.core.population.WorkerStateTable`, so it is
+        O(1)-addressable at population scale, survives worker
+        dropout/rejoin untouched, and round-trips through
+        :meth:`state_dict`.  ``dtype`` defaults to the model dtype.
+        """
+        if dtype is None:
+            dtype = self.global_vector.dtype
+        return self.worker_state.register_field(
+            name, width=width, dtype=dtype, fill=fill
+        )
+
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-serializable snapshot of the trainer's persistent state.
+
+        Carries the mechanism name, the current global model vector, and
+        every registered per-worker state field — enough to resume a
+        mechanism mid-run (pair with the :class:`TrainingHistory` for the
+        metric trace).  Restore with :meth:`load_state_dict`.
+        """
+        return {
+            "mechanism": self.name,
+            "global_vector": self.global_vector.tolist(),
+            "worker_fields": {
+                name: arr.tolist()
+                for name, arr in self.worker_state.state_dict().items()
+            },
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore :meth:`state_dict` output into this trainer.
+
+        The snapshot must come from the same mechanism (field registration
+        happens at construction, so shapes line up exactly); the global
+        vector must match the model dimension.
+        """
+        if state.get("mechanism") != self.name:
+            raise ValueError(
+                f"state is for mechanism {state.get('mechanism')!r}, "
+                f"this trainer is {self.name!r}"
+            )
+        vector = np.asarray(
+            state["global_vector"], dtype=self.global_vector.dtype
+        )
+        if vector.shape != self.global_vector.shape:
+            raise ValueError(
+                f"global vector shape mismatch: {vector.shape} vs "
+                f"{self.global_vector.shape}"
+            )
+        np.copyto(self.global_vector, vector)
+        fields = state.get("worker_fields") or {}
+        self.worker_state.load_state_dict(
+            {name: np.asarray(value) for name, value in fields.items()}
+        )
+
+    # ------------------------------------------------------------------
+    # Synchronous-round fault polling (FedAvg-family mechanisms)
+    # ------------------------------------------------------------------
+    def sync_round_participants(
+        self, round_index: int
+    ) -> Tuple[List[int], float]:
+        """Available workers and their weight scale for one synchronous round.
+
+        Without a client-state model (or with ``always-on``) this is every
+        worker with ``weight_scale == 1.0`` — the exact legacy fast path.
+        With a fault model, workers unavailable at dispatch are counted
+        (history + state-table counters) and, when
+        ``fault.renormalize_survivors`` is set, the participants' weights
+        are scaled by ``Σα_all / Σα_participants`` so the round still moves
+        the full population's data mass.  An all-absent round returns
+        ``([], 1.0)``; callers skip the aggregation.
+        """
+        cs = self.exp.clientstate
+        if cs is None or cs.is_always_on:
+            return list(range(self.exp.num_workers)), 1.0
+        all_ids = np.arange(self.exp.num_workers)
+        mask = np.asarray(
+            cs.availability_mask(all_ids, round_index, 0), dtype=bool
+        )
+        absent = all_ids[~mask]
+        if absent.size:
+            self.history.workers_unavailable += int(absent.size)
+            self.worker_state.record_unavailable(absent)
+        participants = all_ids[mask]
+        self.worker_state.record_dispatch(participants)
+        weight_scale = 1.0
+        if (
+            self.exp.fault.renormalize_survivors
+            and 0 < participants.size < all_ids.size
+        ):
+            weight_scale = float(self.alphas.sum()) / float(
+                self.alphas[participants].sum()
+            )
+        return [int(w) for w in participants], weight_scale
 
     # ------------------------------------------------------------------
     # Timing helpers

@@ -1,0 +1,198 @@
+"""FedAsync: per-update staleness-weighted asynchronous aggregation.
+
+Xie et al. 2019 ("Asynchronous Federated Optimization"), the asynchronous
+baseline the paper's related-work compares against (and the FLGo reference
+implementation in SNIPPETS.md §2).  Every worker trains continuously: it
+pulls the current global model, runs its local SGD, uploads, and the
+server *immediately* mixes the update in —
+
+    ``w ← (1 − a_τ)·w + a_τ·w_k``  with  ``a_τ = mix_weight · s(τ)``
+
+where ``τ`` is the update's staleness (how many commits the global model
+advanced since the worker pulled it) and ``s(τ)`` a damping schedule from
+the registered ``staleness`` policy kind (``constant`` / ``polynomial`` /
+``hinge`` — FedAsync's own schedules, shared with the grouped trainer).
+There is no straggler barrier: fast workers commit often, slow workers'
+updates arrive stale and are shrunk accordingly.
+
+Group-parallel execution: workers whose updates commit back-to-back are
+re-dispatched *together* from the same new global model, so their local
+training runs as one :class:`~repro.nn.batched.BatchedWorkerEngine` call
+(the initial dispatch batches the entire population).  ``buffer_size``
+controls the cohort: the server lets that many workers finish before the
+commit burst, trading a little update freshness for larger batched
+cohorts (``1`` is pure FedAsync; larger values approximate the
+semi-asynchronous buffered variants, cf. Kou et al. in PAPERS.md).
+
+Uploads are OMA (single-worker TDMA) and serialize on the shared uplink:
+each commit waits for the channel to free up, exactly like the grouped
+event loop's uplink model.  Every commit is one global round in the
+history (``staleness`` records ``τ``); simulated time advances by local
+compute + queued upload latency.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from .base import BaseTrainer, FLExperiment
+from .history import TrainingHistory
+from .staleness import (
+    PolynomialStaleness,
+    StalenessPolicy,
+    resolve_staleness_policy,
+)
+
+__all__ = ["FedAsyncTrainer"]
+
+
+class FedAsyncTrainer(BaseTrainer):
+    """Asynchronous per-update FL with staleness-damped mixing."""
+
+    name = "fedasync"
+
+    def __init__(
+        self,
+        experiment: FLExperiment,
+        mix_weight: float = 0.6,
+        staleness: Union[None, str, Mapping[str, Any], StalenessPolicy] = None,
+        staleness_exponent: float = 0.0,
+        buffer_size: int = 1,
+    ) -> None:
+        if not 0.0 < mix_weight <= 1.0:
+            raise ValueError(
+                f"mix_weight must be in (0, 1], got {mix_weight}"
+            )
+        if buffer_size < 1:
+            raise ValueError(f"buffer_size must be >= 1, got {buffer_size}")
+        # Accept the same staleness arguments as the grouped trainer; the
+        # FedAsync default is the paper's polynomial schedule s(τ) =
+        # 1/(1+τ)^0.5 (pass staleness="constant" to disable damping).
+        policy = resolve_staleness_policy(staleness, staleness_exponent)
+        self._staleness_policy: StalenessPolicy = (
+            policy if policy is not None else PolynomialStaleness(exponent=0.5)
+        )
+        super().__init__(experiment)
+        if experiment.clientstate is not None and not experiment.clientstate.is_always_on:
+            raise ValueError(
+                "fedasync does not support client-state fault models yet; "
+                "use the grouped mechanisms for fault scenarios"
+            )
+        self.mix_weight = float(mix_weight)
+        self.buffer_size = int(buffer_size)
+        #: Monotonic dispatch counter — the RNG round key for local
+        #: training, so every (worker, dispatch) draws fresh mini-batches.
+        self._dispatch_counter = 0
+
+    # ------------------------------------------------------------------
+    def _dispatch_cohort(
+        self,
+        workers: List[int],
+        start_time: float,
+        version: int,
+        heap: List[Tuple[float, int, int]],
+        seq: int,
+        pending: Dict[int, np.ndarray],
+        pulled_version: Dict[int, int],
+    ) -> int:
+        """Train a cohort from the current global model; queue completions.
+
+        One batched group call covers the whole cohort (the proximal point
+        of running FedAsync on the batched engine); each member's finish
+        time is its own sampled compute latency.
+        """
+        self._dispatch_counter += 1
+        dispatch_round = self._dispatch_counter
+        stack = self.local_update_group(
+            workers, self.global_vector, dispatch_round
+        )
+        times = self.exp.latency.sample_times(workers, dispatch_round)
+        for k, w in enumerate(workers):
+            pending[w] = np.array(stack[k], copy=True)
+            pulled_version[w] = version
+            heapq.heappush(heap, (start_time + float(times[k]), seq, w))
+            seq += 1
+        self.worker_state.record_dispatch(np.asarray(workers, dtype=np.int64))
+        return seq
+
+    # ------------------------------------------------------------------
+    def run(
+        self, max_rounds: int = 100, max_time: Optional[float] = None
+    ) -> TrainingHistory:
+        policy = self._staleness_policy
+        clock = 0.0
+        channel_busy_until = 0.0
+        version = 0  # commits so far == current global-model version
+        commits = 0
+        heap: List[Tuple[float, int, int]] = []
+        seq = 0
+        pending: Dict[int, np.ndarray] = {}
+        pulled_version: Dict[int, int] = {}
+        self.record_round(round_index=0, time=0.0, num_participants=0, force_eval=True)
+        # Initial dispatch: the entire population trains as one batched
+        # cohort from the same initial model.
+        seq = self._dispatch_cohort(
+            list(range(self.exp.num_workers)),
+            0.0,
+            version,
+            heap,
+            seq,
+            pending,
+            pulled_version,
+        )
+        ready: List[Tuple[float, int]] = []
+        stop = False
+        while heap and not stop:
+            finish_time, _, worker = heapq.heappop(heap)
+            ready.append((finish_time, worker))
+            # Let buffer_size workers finish before the commit burst (the
+            # final stragglers flush even if the buffer never fills).
+            if len(ready) < self.buffer_size and heap:
+                continue
+            cohort: List[int] = []
+            for local_finish, w in ready:
+                commits += 1
+                tau = version - pulled_version.pop(w)
+                weight = self.mix_weight * policy.weight(tau)
+                # Single-worker OMA upload, serialized on the shared uplink.
+                upload_start = max(local_finish, channel_busy_until)
+                channel_busy_until = upload_start + self.oma_upload_latency(
+                    [w], commits
+                )
+                clock = max(clock, channel_busy_until)
+                # w ← (1 − a)·w + a·w_k  (allocation-free, buffer swap).
+                vec = pending.pop(w)
+                np.multiply(
+                    self.global_vector, 1.0 - weight, out=self._agg_scratch
+                )
+                np.multiply(vec, weight, out=self._update_out)
+                self._update_out += self._agg_scratch
+                self._commit_global(self._update_out)
+                version += 1
+                self.worker_state.record_commit(
+                    np.array([w], dtype=np.int64), tau
+                )
+                cohort.append(w)
+                self.record_round(
+                    round_index=commits,
+                    time=clock,
+                    staleness=tau,
+                    group_id=-1,
+                    num_participants=1,
+                )
+                if commits >= max_rounds or (
+                    max_time is not None and clock >= max_time
+                ):
+                    stop = True
+                    break
+            ready = []
+            if not stop and cohort:
+                # The burst's workers restart together from the new global
+                # model — one batched engine call for the whole cohort.
+                seq = self._dispatch_cohort(
+                    cohort, clock, version, heap, seq, pending, pulled_version
+                )
+        return self.history

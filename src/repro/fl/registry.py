@@ -1,4 +1,4 @@
-"""Mechanism registry: build any of the five mechanisms by name.
+"""Mechanism registry: build any of the registered mechanisms by name.
 
 Backed by the generic component registry (:mod:`repro.registry`, kind
 ``"mechanism"``).  :data:`MECHANISMS` is kept as a thin backward-compat
@@ -17,7 +17,10 @@ from .air_fedavg import AirFedAvgTrainer
 from .air_fedga import AirFedGATrainer
 from .base import BaseTrainer, FLExperiment
 from .dynamic import DynamicTrainer
+from .fedasync import FedAsyncTrainer
 from .fedavg import FedAvgTrainer
+from .feddyn import FedDynTrainer
+from .fedprox import FedProxTrainer
 from .tifl import TiFLTrainer
 
 __all__ = ["MECHANISMS", "build_trainer"]
@@ -27,6 +30,9 @@ register("mechanism", "tifl")(TiFLTrainer)
 register("mechanism", "air_fedavg")(AirFedAvgTrainer)
 register("mechanism", "dynamic")(DynamicTrainer)
 register("mechanism", "air_fedga")(AirFedGATrainer)
+register("mechanism", "fedprox")(FedProxTrainer)
+register("mechanism", "feddyn")(FedDynTrainer)
+register("mechanism", "fedasync")(FedAsyncTrainer)
 
 #: Mapping from mechanism name to trainer class.  The names match the
 #: labels used in the paper's figures.  Deprecation shim: a snapshot of

@@ -61,11 +61,49 @@ __all__ = [
     "BatchedKernel",
     "BatchedWorkerEngine",
     "EngineSpec",
+    "StepTransform",
     "batched_layer_supported",
     "model_shard_safe",
     "register_batched_kernel",
     "shared_stack_view",
 ]
+
+
+@dataclass(frozen=True)
+class StepTransform:
+    """Per-SGD-step affine parameter correction applied around the update.
+
+    Mechanism families with a regularized local objective (FedProx's
+    proximal term, FedDyn's drift correction) modify the plain SGD step
+
+        ``w ← w − lr · ∇f(w)``
+
+    into an affine variant
+
+        ``w ← scale · w − lr · ∇f(w) + offset``
+
+    where the gradient is evaluated at the *pre-scale* parameters.  Both
+    execution paths (the batched engine and the scalar per-worker loop)
+    apply the same three element-wise stages in the same order — scale the
+    parameters, take the SGD step, add the offset — so batched and scalar
+    runs of a transformed mechanism stay bit-identical in float64, exactly
+    like the untransformed path.
+
+    ``offset`` is a flat model-vector array: ``(q,)`` when every group
+    member shares the correction (FedProx: ``lr·mu·base``) or ``(G, q)``
+    with one row per dispatched worker (FedDyn: ``lr·(λ·base + h_i)``).
+    ``None`` offset / ``scale == 1.0`` stages are skipped entirely, and a
+    ``None`` transform is the legacy code path, untouched.
+    """
+
+    scale: float = 1.0
+    offset: Optional[np.ndarray] = None
+
+    def rows(self, index) -> "StepTransform":
+        """The transform restricted to a subset/slice of group rows."""
+        if self.offset is None or self.offset.ndim == 1:
+            return self
+        return StepTransform(scale=self.scale, offset=self.offset[index])
 
 
 class BatchedKernel(Protocol):
@@ -313,6 +351,27 @@ class _BatchedDense:
             self.grad_bias *= lr
             self.bias -= self.grad_bias
 
+    def scale_params(self, scale: float) -> None:
+        """Multiply every member's parameters in place (StepTransform)."""
+        self.weight *= scale
+        if self.has_bias:
+            self.bias *= scale
+
+    def add_offset(self, flat: np.ndarray) -> None:
+        """Add this layer's slice of a flat offset vector (StepTransform).
+
+        ``flat`` is ``(q,)`` (shared across the group, broadcast over the
+        leading axis) or ``(G, q)`` with one row per member.
+        """
+        w = flat[..., self.weight_offset : self.weight_offset + self.weight_size]
+        if flat.ndim == 1:
+            self.weight += w.reshape(self.weight_shape)
+        else:
+            self.weight += w.reshape((flat.shape[0],) + self.weight_shape)
+        if self.has_bias:
+            b = flat[..., self.bias_offset : self.bias_offset + self.bias_size]
+            self.bias += b
+
 
 @register_batched_kernel(ReLU)
 class _BatchedReLU:
@@ -432,6 +491,21 @@ class _BatchedConv2D:
         if self.has_bias:
             self.grad_bias *= lr
             self.bias -= self.grad_bias
+
+    def scale_params(self, scale: float) -> None:
+        self.weight *= scale
+        if self.has_bias:
+            self.bias *= scale
+
+    def add_offset(self, flat: np.ndarray) -> None:
+        w = flat[..., self.weight_offset : self.weight_offset + self.weight_size]
+        if flat.ndim == 1:
+            self.weight += w.reshape(self.weight_shape)
+        else:
+            self.weight += w.reshape((flat.shape[0],) + self.weight_shape)
+        if self.has_bias:
+            b = flat[..., self.bias_offset : self.bias_offset + self.bias_size]
+            self.bias += b
 
     # -- geometry / buffers ----------------------------------------------
     def _buffers_for(self, shape: Tuple[int, ...], dtype: np.dtype) -> Dict[str, object]:
@@ -915,6 +989,7 @@ class BatchedWorkerEngine:
         seed: int,
         out: np.ndarray,
         pad_to: Optional[int] = None,
+        transform: Optional[StepTransform] = None,
     ) -> np.ndarray:
         """Run every member's local SGD from ``base_vector``; fill ``out``.
 
@@ -930,11 +1005,25 @@ class BatchedWorkerEngine:
         full-group call, which is what makes multiprocess sharding
         bit-identical to serial execution (padding rows gather the zero
         row and contribute exact ``+0.0`` terms).
+
+        ``transform`` applies a per-step affine parameter correction (see
+        :class:`StepTransform`); a ``(G, q)`` offset carries one row per
+        entry of ``worker_ids``, in the same order.
         """
         ids = list(worker_ids)
         if out.shape != (len(ids), self.dimension):
             raise ValueError(
                 f"out has shape {out.shape}, expected {(len(ids), self.dimension)}"
+            )
+        if (
+            transform is not None
+            and transform.offset is not None
+            and transform.offset.ndim == 2
+            and transform.offset.shape[0] != len(ids)
+        ):
+            raise ValueError(
+                f"transform offset has {transform.offset.shape[0]} rows "
+                f"for {len(ids)} workers"
             )
         # Convolutional models: split large groups into cache-sized tiles
         # (see _CONV_GROUP_TILE; per-worker results are identical).
@@ -952,6 +1041,11 @@ class BatchedWorkerEngine:
                     seed=seed,
                     out=out[k0:k1],
                     pad_to=pad_to,
+                    transform=(
+                        transform.rows(slice(k0, k1))
+                        if transform is not None
+                        else None
+                    ),
                 )
             return out
         # Workers without data keep the base model; train the rest together.
@@ -962,6 +1056,12 @@ class BatchedWorkerEngine:
                 out[k] = base_vector
         if not active:
             return out
+        # Restrict a per-worker offset to the active (has-data) rows: workers
+        # without data take no SGD steps, so no correction applies to them.
+        if transform is not None and len(active) != len(ids):
+            transform = transform.rows(np.asarray(active))
+        t_scale = transform.scale if transform is not None else 1.0
+        t_offset = transform.offset if transform is not None else None
         xs = [worker_data[k][0] for k in active]
         ys = [worker_data[k][1] for k in active]
         rngs = [
@@ -1061,8 +1161,18 @@ class BatchedWorkerEngine:
                 grad *= geo["valid"][:, :, None]
             for kernel in reversed(self._kernels[self._first_param_index :]):
                 grad = kernel.backward(grad)
+            # StepTransform stages (no-ops on the legacy path): gradients
+            # were computed at the pre-scale parameters above, so the step
+            # is ``w ← scale·w − lr·∇f(w) + offset`` — the same order of
+            # element-wise operations as the scalar path.
+            if t_scale != 1.0:
+                for kernel in self._params:
+                    kernel.scale_params(t_scale)
             for kernel in self._params:
                 kernel.sgd_step(learning_rate)
+            if t_offset is not None:
+                for kernel in self._params:
+                    kernel.add_offset(t_offset)
 
         rows = out[active] if len(active) != len(ids) else out
         for kernel in self._params:

@@ -359,3 +359,68 @@ def test_partition_integer_indexing_is_deprecated_but_forwarding():
         _warnings.simplefilter("error")
         assert len(partition.indices) == 4
         assert sum(ix.size for ix in partition.indices) == dataset.num_train
+
+
+# ----------------------------------------------------------------------
+# registered per-worker state fields (persistent mechanism state)
+# ----------------------------------------------------------------------
+def test_register_field_shapes_fill_and_idempotency():
+    table = WorkerStateTable.uniform(6, shard_size=4)
+    scalar = table.register_field("counter", dtype=np.int64, fill=0)
+    vector = table.register_field("drift", width=5, fill=0.5)
+    assert scalar.shape == (6,) and scalar.dtype == np.int64
+    assert vector.shape == (6, 5) and vector.dtype == np.float64
+    assert np.all(vector == 0.5)
+    # Idempotent re-registration returns the same array, values preserved.
+    vector[2] = 7.0
+    again = table.register_field("drift", width=5)
+    assert again is vector
+    assert np.all(again[2] == 7.0)
+    assert table.has_field("drift") and not table.has_field("nope")
+    assert table.field_names() == ["counter", "drift"]
+    assert table.field("drift") is vector
+
+
+def test_register_field_rejects_mismatched_respec():
+    table = WorkerStateTable.uniform(4, shard_size=4)
+    table.register_field("drift", width=3)
+    with pytest.raises(ValueError, match="already registered"):
+        table.register_field("drift", width=4)
+    with pytest.raises(ValueError, match="already registered"):
+        table.register_field("drift", width=3, dtype=np.float32)
+    with pytest.raises(ValueError, match="width"):
+        table.register_field("bad", width=0)
+
+
+def test_field_lookup_error_lists_known_fields():
+    table = WorkerStateTable.uniform(4, shard_size=4)
+    table.register_field("drift", width=2)
+    with pytest.raises(KeyError, match="drift"):
+        table.field("momentum")
+
+
+def test_field_state_dict_round_trip_and_validation():
+    table = WorkerStateTable.uniform(5, shard_size=4)
+    drift = table.register_field("drift", width=3)
+    drift[:] = np.arange(15, dtype=np.float64).reshape(5, 3)
+    state = table.state_dict()
+    # state_dict copies: mutating the snapshot leaves the table untouched.
+    state["drift"][0, 0] = -1.0
+    assert table.field("drift")[0, 0] == 0.0
+    drift[:] = 0.0
+    fresh = np.arange(15, dtype=np.float64).reshape(5, 3)
+    table.load_state_dict({"drift": fresh})
+    np.testing.assert_array_equal(table.field("drift"), fresh)
+    # Loading writes in place: the registered array object is stable.
+    assert table.field("drift") is drift
+    with pytest.raises(KeyError, match="unregistered"):
+        table.load_state_dict({"momentum": fresh})
+    with pytest.raises(ValueError, match="shape mismatch"):
+        table.load_state_dict({"drift": np.zeros((5, 4))})
+
+
+def test_registered_fields_count_toward_nbytes():
+    table = WorkerStateTable.uniform(8, shard_size=4)
+    before = table.nbytes
+    table.register_field("drift", width=100)
+    assert table.nbytes == before + 8 * 100 * 8

@@ -423,3 +423,97 @@ class TestTimingHelpers:
             local, upload_latency=1.0, availability=0.5, retry_backoff=2.0
         )
         assert degraded > plain
+
+
+class TestSyncFamilyFaults:
+    """Availability faults on the synchronous FedAvg-family round loop.
+
+    The mechanism-families layer extends fault polling to the synchronous
+    trainers: absent workers sit the round out, survivors are renormalized
+    per ``FaultConfig``, and persistent per-worker mechanism state (FedDyn
+    drift) both survives absence untouched and replays exactly under the
+    seeded availability trajectory.
+    """
+
+    def _faulty_experiment(self, base, availability=0.6, seed=13):
+        from repro.fl.base import FLExperiment  # noqa: F401  (doc pointer)
+
+        return dataclasses.replace(
+            base,
+            population=None,  # fresh WorkerStateTable per run
+            clientstate=BernoulliAvailability(
+                num_workers=base.num_workers,
+                seed=seed,
+                availability=availability,
+            ),
+        )
+
+    def test_fedavg_polls_availability_and_renormalizes(self, quiet_experiment):
+        from repro.fl import FedAvgTrainer
+
+        exp = self._faulty_experiment(quiet_experiment)
+        trainer = FedAvgTrainer(exp)
+        history = trainer.run(max_rounds=10)
+        faults = history.fault_counters()
+        assert faults["workers_unavailable"] > 0
+        rounds = [r for r in history.records if r.round_index > 0]
+        assert any(
+            0 < r.num_participants < exp.num_workers for r in rounds
+        )
+        assert all(np.isfinite(r.loss) for r in rounds)
+
+    def test_always_on_sync_family_bit_identical_to_plain(self, quiet_experiment):
+        from repro.fl import FedProxTrainer
+
+        plain = FedProxTrainer(quiet_experiment, mu=0.1)
+        h_plain = plain.run(max_rounds=6)
+        on_exp = dataclasses.replace(
+            quiet_experiment,
+            population=None,
+            clientstate=AlwaysOnModel(num_workers=quiet_experiment.num_workers),
+        )
+        on = FedProxTrainer(on_exp, mu=0.1)
+        h_on = on.run(max_rounds=6)
+        assert _trace(h_plain) == _trace(h_on)
+        assert np.array_equal(plain.global_vector, on.global_vector)
+
+    def test_feddyn_replays_exactly_across_dropout_rejoin(self, quiet_experiment):
+        from repro.fl import FedDynTrainer
+
+        def run():
+            exp = self._faulty_experiment(quiet_experiment)
+            trainer = FedDynTrainer(exp, alpha_coef=0.05)
+            history = trainer.run(max_rounds=10)
+            return (
+                _trace(history),
+                history.fault_counters(),
+                trainer.drift.copy(),
+                trainer.global_vector.copy(),
+            )
+
+        trace_a, faults_a, drift_a, gv_a = run()
+        trace_b, faults_b, drift_b, gv_b = run()
+        assert faults_a["workers_unavailable"] > 0
+        assert trace_a == trace_b
+        assert faults_a == faults_b
+        # The persistent drift state is part of the replay contract:
+        # bit-identical across the two seeded fault trajectories.
+        assert np.array_equal(drift_a, drift_b)
+        assert np.array_equal(gv_a, gv_b)
+
+    def test_feddyn_drift_of_absent_workers_survives_untouched(
+        self, quiet_experiment
+    ):
+        from repro.fl import FedDynTrainer
+
+        trainer = FedDynTrainer(quiet_experiment, alpha_coef=0.05)
+        trainer.drift[:] = 1.0
+        snapshot = trainer.drift.copy()
+        participants = [0, 2, 5]
+        base = trainer.global_vector
+        vectors = np.stack([base + (w + 1.0) for w in participants])
+        trainer.post_local_update(participants, vectors, base, 1)
+        absent = [w for w in range(quiet_experiment.num_workers) if w not in participants]
+        # Participants' drift moved; absent workers' rows are bit-identical.
+        assert np.all(trainer.drift[participants] != snapshot[participants])
+        assert np.array_equal(trainer.drift[absent], snapshot[absent])

@@ -17,8 +17,17 @@ from repro.fl import (
 
 
 class TestRegistry:
-    def test_contains_all_five_mechanisms(self):
-        assert set(MECHANISMS) == {"fedavg", "tifl", "air_fedavg", "dynamic", "air_fedga"}
+    def test_contains_all_registered_mechanisms(self):
+        assert set(MECHANISMS) == {
+            "fedavg",
+            "tifl",
+            "air_fedavg",
+            "dynamic",
+            "air_fedga",
+            "fedprox",
+            "feddyn",
+            "fedasync",
+        }
 
     def test_build_trainer(self, small_experiment):
         trainer = build_trainer("fedavg", small_experiment)
@@ -26,7 +35,7 @@ class TestRegistry:
 
     def test_build_trainer_unknown(self, small_experiment):
         with pytest.raises(KeyError, match="unknown mechanism"):
-            build_trainer("fedprox", small_experiment)
+            build_trainer("fedsgd", small_experiment)
 
     def test_kwargs_forwarded(self, small_experiment):
         trainer = build_trainer("dynamic", small_experiment, select_fraction=0.5)

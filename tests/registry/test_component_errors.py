@@ -23,7 +23,7 @@ class TestBuildTrainerErrors:
 
     def test_unknown_mechanism_is_still_a_keyerror(self):
         with pytest.raises(KeyError, match="unknown mechanism"):
-            build_trainer("fedprox", None)
+            build_trainer("fedsgd", None)
 
     def test_unknown_kwarg_raises_typeerror_with_accepted_params(self):
         with pytest.raises(TypeError) as excinfo:

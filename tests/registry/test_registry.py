@@ -18,7 +18,8 @@ class TestPopulation:
 
     def test_standard_names(self):
         assert registry.names("mechanism") == [
-            "air_fedavg", "air_fedga", "dynamic", "fedavg", "tifl",
+            "air_fedavg", "air_fedga", "dynamic", "fedasync", "fedavg",
+            "feddyn", "fedprox", "tifl",
         ]
         assert registry.names("partitioner") == ["dirichlet", "iid", "label-skew"]
         assert registry.names("channel") == ["rayleigh", "static"]
@@ -77,7 +78,7 @@ class TestRegisterAndLookup:
 class TestUnknownComponentError:
     def test_is_a_keyerror(self):
         with pytest.raises(KeyError):
-            registry.get("mechanism", "fedprox")
+            registry.get("mechanism", "fedsgd")
 
     def test_message_carries_suggestions(self):
         with pytest.raises(UnknownComponentError) as excinfo:
