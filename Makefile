@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-fast test-ci lint bench bench-quick bench-xl bench-xl-smoke docs-check sweep-smoke sweep-report sweep-resume-smoke chaos-smoke convergence-smoke ci
+.PHONY: test test-fast test-ci lint analyze bench bench-quick bench-xl bench-xl-smoke docs-check sweep-smoke sweep-report sweep-resume-smoke chaos-smoke convergence-smoke ci
 
 test:            ## full tier-1 suite (tests/ + benchmarks/)
 	$(PYTHON) -m pytest -x -q
@@ -14,6 +14,10 @@ test-ci:         ## the exact pytest invocation of the CI test matrix
 
 lint:            ## ruff static checks, same as the CI lint job (pip install ruff)
 	$(PYTHON) -m ruff check .
+
+analyze:         ## repo-specific invariant checkers (RNG discipline, hot-path allocation, registry/lifecycle) + the mypy strict gate (skipped locally when mypy is absent; the CI analyze job enforces it).  Writes results/analysis_findings.json
+	$(PYTHON) -m tools.analysis --json results/analysis_findings.json
+	$(PYTHON) -m tools.analysis --mypy
 
 bench:           ## perf suite (scalar reference vs vectorized engine), appends to BENCH_perf_v1.json
 	$(PYTHON) -m repro.experiments bench --label perf_v1
@@ -56,4 +60,4 @@ convergence-smoke: ## mechanism-family convergence smoke (the CI convergence job
 		--convergence-jsonl results/convergence_smoke.jsonl \
 		--label convergence_smoke
 
-ci: lint test-ci bench-quick bench-xl-smoke docs-check sweep-smoke sweep-resume-smoke chaos-smoke convergence-smoke  ## reproduce the full CI pipeline locally
+ci: lint analyze test-ci bench-quick bench-xl-smoke docs-check sweep-smoke sweep-resume-smoke chaos-smoke convergence-smoke  ## reproduce the full CI pipeline locally

@@ -86,9 +86,8 @@ def canonical_spec(spec: Any) -> Dict[str, Any]:
     """
     from .scenario import Scenario  # local import: scenario imports stay acyclic
 
-    if not isinstance(spec, Scenario):
-        spec = Scenario.from_dict(spec)
-    document = spec.to_dict()
+    scenario = spec if isinstance(spec, Scenario) else Scenario.from_dict(spec)
+    document = scenario.to_dict()
     document.pop("name", None)
     return document
 

@@ -39,7 +39,7 @@ import json
 import typing
 from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
-from typing import Any, Callable, Dict, Mapping, Optional
+from typing import Any, Callable, Dict, Mapping, Optional, Type
 
 from .. import registry
 from ..core.config import AirFedGAConfig, FaultConfig, ParallelismConfig
@@ -55,7 +55,26 @@ __all__ = [
     "TrainingSpec",
     "FaultSpec",
     "Scenario",
+    "SCENARIO_COMPONENT_KINDS",
 ]
+
+#: Where each registry kind is reachable from a scenario document: the
+#: dotted spec path naming a component of that kind.  The static-analysis
+#: suite (rule ``REG003``) checks every registered kind appears here, so a
+#: new component family cannot be registered without a route from the
+#: declarative Scenario API.
+SCENARIO_COMPONENT_KINDS: Dict[str, str] = {
+    "data": "dataset",
+    "model": "model",
+    "partition": "partitioner",
+    "channel": "channel",
+    "timing.latency": "latency",
+    "mechanism": "mechanism",
+    "faults.clientstate": "clientstate",
+    # Staleness policies have no dedicated section: they are named in the
+    # params of staleness-aware mechanisms (e.g. fedasync's ``staleness``).
+    "mechanism.params.staleness": "staleness",
+}
 
 
 def _jsonify(value: Any) -> Any:
@@ -74,7 +93,9 @@ def _jsonify(value: Any) -> Any:
     return value
 
 
-def _dataclass_from_dict(cls: type, data: Mapping[str, Any], context: str) -> Any:
+def _dataclass_from_dict(
+    cls: Type[Any], data: Mapping[str, Any], context: str
+) -> Any:
     """Reconstruct a (possibly nested) dataclass from a plain mapping.
 
     Unknown keys raise ``ValueError`` with close-match suggestions, so a
@@ -129,7 +150,8 @@ class ComponentSpec:
         if isinstance(value, str):
             return cls(name=value)
         if isinstance(value, Mapping):
-            return _dataclass_from_dict(cls, value, context)
+            spec: "ComponentSpec" = _dataclass_from_dict(cls, value, context)
+            return spec
         raise ValueError(
             f"{context} must be a component name, mapping or {cls.__name__}, "
             f"got {type(value).__name__}"
@@ -489,7 +511,8 @@ class Scenario:
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "Scenario":
         """Inverse of :meth:`to_dict`; missing sections take their defaults."""
-        return _dataclass_from_dict(cls, data, "scenario")
+        scenario: "Scenario" = _dataclass_from_dict(cls, data, "scenario")
+        return scenario
 
     def to_json(self, path: str | Path | None = None, indent: int = 2) -> str:
         """Serialize to JSON text, optionally writing it to ``path``."""

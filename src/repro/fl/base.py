@@ -307,6 +307,7 @@ class BaseTrainer:
         """Reusable ``(G, q)`` buffer holding a group's stacked local models."""
         buf = self._stack_bufs.get(group_size)
         if buf is None:
+            # analyze: allow-alloc(first-touch stack buffer, cached per group size)
             buf = np.empty(
                 (group_size, self.model.dimension), dtype=self.global_vector.dtype
             )
@@ -646,10 +647,12 @@ class BaseTrainer:
             return new_global
         stacked = local_vectors
         if not (isinstance(stacked, np.ndarray) and stacked.ndim == 2):
+            # analyze: allow-alloc(fallback for list input; hot path passes a 2-D stack)
             stacked = np.stack([np.asarray(v).ravel() for v in local_vectors])
         if stacked.dtype not in (np.float32, np.float64):
             stacked = stacked.astype(np.float64)
         if out is None:
+            # analyze: allow-alloc(convenience path; hot callers pass a reused out=)
             out = np.empty_like(self.global_vector)
         # (1 − β) w_{t−1} goes into the scratch buffer *before* the matmul so
         # that ``out`` may alias the current global vector.

@@ -68,12 +68,15 @@ class _Roster:
     to start the local round, the round label the dispatch sampled its
     latency/fault draws with, and the per-group dispatch sequence number
     that makes every dispatch's RNG draws unique (retries and re-dispatches
-    of the same round label draw fresh randomness).
+    of the same round label draw fresh randomness).  ``member_array`` is
+    the same roster as an int64 array, captured once at dispatch so the
+    commit path never re-converts the member list.
     """
 
     members: List[int]
     round_label: int
     seq: int
+    member_array: np.ndarray
 
 
 class GroupedAsyncTrainer(BaseTrainer):
@@ -238,6 +241,7 @@ class GroupedAsyncTrainer(BaseTrainer):
         if base is None:
             # Lazy mode: first commit of this group — promote it from the
             # shared initial snapshot to a private base vector.
+            # analyze: allow-alloc(one-time promotion from the shared initial base)
             self._group_base[group_id] = self.global_vector.copy()
         else:
             np.copyto(base, self.global_vector)
@@ -329,13 +333,16 @@ class GroupedAsyncTrainer(BaseTrainer):
                 self._clientstate.availability_mask(members, round_label, seq),
                 dtype=bool,
             )
-            active = member_arr[mask].tolist()
+            active_arr = member_arr[mask]
+            active = active_arr.tolist()
             self.history.workers_unavailable += len(members) - len(active)
             self.worker_state.record_unavailable(member_arr[~mask])
             if len(active) >= self._quorum(group_id):
                 self._retry_counts[group_id] = 0
                 self._consecutive_failures[group_id] = 0
-                self._rosters[group_id] = _Roster(active, round_label, seq)
+                self._rosters[group_id] = _Roster(
+                    active, round_label, seq, active_arr
+                )
                 self.worker_state.record_dispatch(member_arr[mask])
                 ready = attempt_start + float(
                     self.exp.latency.sample_times(active, round_label).max()
@@ -482,7 +489,7 @@ class GroupedAsyncTrainer(BaseTrainer):
                         ),
                         dtype=bool,
                     )
-                    roster_arr = np.asarray(roster.members, dtype=np.int64)
+                    roster_arr = roster.member_array
                     survivors = roster_arr[survive].tolist()
                     self.history.workers_dropped += len(roster.members) - len(
                         survivors
@@ -560,6 +567,7 @@ class GroupedAsyncTrainer(BaseTrainer):
                     self.history.partial_updates += int(
                         np.count_nonzero(fractions < 1.0)
                     )
+                    # analyze: allow-alloc(blend must not mutate the recycled stack)
                     stacked = np.asarray(local_vectors).copy()
                     stacked -= base
                     stacked *= fractions.astype(stacked.dtype)[:, None]

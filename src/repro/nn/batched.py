@@ -384,6 +384,7 @@ class _BatchedReLU:
     def forward(self, x: np.ndarray) -> np.ndarray:
         bufs = self._buffers.get(x.shape)
         if bufs is None:
+            # analyze: allow-alloc(first-touch mask/out buffers, cached per shape)
             bufs = (np.empty(x.shape, dtype=bool), np.empty(x.shape, dtype=x.dtype))
             self._buffers[x.shape] = bufs
         mask, out = bufs
@@ -700,6 +701,7 @@ class _BatchedMaxPool2D:
         geo = self._buffers.get(x.shape)
         if geo is None:
             oh, ow = h // p, w // p
+            # analyze: allow-alloc(first-touch pooling geometry, cached per shape)
             geo = {
                 "out": np.empty((g, b, c, oh, ow), dtype=x.dtype),
                 "mask_bool": np.empty((g, b, c, oh, p, ow, p), dtype=bool),
@@ -809,6 +811,7 @@ class _BatchedDropout:
             key = (self._steps, g, b_max) + feat
             masks = self._mask_bufs.get(key)
             if masks is None:
+                # analyze: allow-alloc(first-touch dropout masks, cached per signature)
                 masks = np.empty((self._steps, g, b_max) + feat)
                 self._mask_bufs[key] = masks
             # Zero first: padded rows (b_k < b_max) must carry a zero mask,
@@ -822,6 +825,7 @@ class _BatchedDropout:
             self._masks = masks
         out = self._out.get(x.shape)
         if out is None:
+            # analyze: allow-alloc(first-touch output buffer, cached per shape)
             out = np.empty(x.shape, dtype=x.dtype)
             self._out[x.shape] = out
         mask = self._masks[self._step]

@@ -46,7 +46,7 @@ from __future__ import annotations
 import difflib
 import importlib
 import inspect
-from typing import Any, Callable, Dict, List, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Sequence, Tuple
 
 __all__ = [
     "COMPONENT_KINDS",
@@ -264,6 +264,6 @@ def check_kwargs(
         )
 
 
-def _close_matches(name: str, candidates: Sequence[str]) -> List[str]:
+def _close_matches(name: str, candidates: Iterable[str]) -> List[str]:
     """difflib close matches, shared by scenario-field validation."""
     return difflib.get_close_matches(name, list(candidates), n=3, cutoff=0.4)

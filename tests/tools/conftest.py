@@ -1,0 +1,21 @@
+"""Fixtures for the ``tools/`` test suite (analysis checkers, doc checks)."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+# ``tools`` is a repo-root package; make it importable regardless of how
+# pytest was invoked (the Makefile only exports PYTHONPATH=src).
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+
+@pytest.fixture(scope="session")
+def fixtures_dir() -> Path:
+    return FIXTURES

@@ -1,0 +1,31 @@
+"""Analysis fixture for the hot-path allocation checker.
+
+Never imported — parsed by ``tools.analysis`` self-tests only.  The
+self-test declares ``Kernel.forward`` / ``Kernel.backward`` as hot.
+"""
+
+import numpy as np
+
+
+class Kernel:
+    def __init__(self, shape):
+        self.buf = np.empty(shape)  # cold path: __init__ may allocate
+
+    def forward(self, x):
+        fresh = np.zeros(x.shape)  # ALLOC001
+        stacked = np.stack([x, x])  # ALLOC001
+        dup = np.asarray(x).copy()  # ALLOC001 (.copy() method)
+        # analyze: allow-alloc(first-touch buffer, cached for reuse)
+        allowed = np.empty(x.shape)
+        np.copyto(self.buf, x)  # in-place: fine
+        inner = [np.ones(2) for _ in range(2)]  # ALLOC001 (nested scope)
+        return fresh, stacked, dup, allowed, inner
+
+    def backward(self, grad):
+        out = np.empty_like(grad)  # analyze: allow-alloc(reasoned escape)
+        np.multiply(grad, 2.0, out=out)
+        return out
+
+
+def cold_helper(x):
+    return np.zeros(x.shape)  # not a declared hot path: silent

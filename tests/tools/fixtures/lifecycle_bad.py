@@ -1,0 +1,25 @@
+"""Analysis fixture: every lifecycle rule fires at least once.
+
+Never imported — parsed by ``tools.analysis`` self-tests only.
+"""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+def leaky_create(nbytes):
+    shm = SharedMemory(create=True, size=nbytes)  # LIFE001: no close/unlink
+    return shm.name
+
+
+def leaky_attach(name):
+    shm = SharedMemory(name=name)  # LIFE002: no close
+    return bytes(shm.buf[:4])
+
+
+def dropped_bare(executor, members):
+    executor.submit_group(members)  # LIFE003: bare expression
+
+
+def dropped_binding(executor, members):
+    future = executor.submit_group(members)  # LIFE003: never used again
+    return len(members)

@@ -1,0 +1,38 @@
+"""Analysis fixture: clean resource lifecycle — no rule fires.
+
+Never imported — parsed by ``tools.analysis`` self-tests only.
+"""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+def balanced_create(nbytes):
+    shm = SharedMemory(create=True, size=nbytes)
+    try:
+        return bytes(shm.buf[:4])
+    finally:
+        shm.close()
+        shm.unlink()
+
+
+def balanced_attach(name):
+    shm = SharedMemory(name=name)
+    try:
+        return bytes(shm.buf[:4])
+    finally:
+        shm.close()
+
+
+def consumed_future(executor, members):
+    future = executor.submit_group(members)
+    return future.result()
+
+
+def discarded_future(executor, members):
+    future = executor.submit_group(members)
+    future.discard()
+
+
+def allowed_drop(executor, members):
+    # analyze: allow-lifecycle(fire-and-forget is intentional here)
+    executor.submit_group(members)

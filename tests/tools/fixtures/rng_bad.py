@@ -1,0 +1,49 @@
+"""Analysis fixture: every RNG rule fires at least once.
+
+Never imported — parsed by ``tools.analysis`` self-tests only.
+"""
+
+import random
+import time
+from random import randint
+
+import numpy as np
+
+
+def module_state_numpy():
+    return np.random.rand(3)  # RNG001
+
+
+def module_state_numpy_seed():
+    np.random.seed(0)  # RNG001 (seeding module state is still module state)
+
+
+def stdlib_random():
+    a = random.random()  # RNG002
+    b = randint(0, 10)  # RNG002 (from-import)
+    return a + b
+
+
+def wall_clock_seed():
+    return np.random.default_rng(int(time.time()))  # RNG003
+
+
+def wall_clock_keyword(make):
+    return make(seed=time.time_ns())  # RNG003 (seed= keyword)
+
+
+def entropy_seed():
+    return np.random.default_rng()  # RNG004
+
+
+def entropy_seed_sequence():
+    return np.random.SeedSequence()  # RNG004
+
+
+def allowed_with_reason():
+    # analyze: allow-rng(fixture demonstrates the escape hatch)
+    return np.random.rand(3)
+
+
+def reasonless_allow_does_not_suppress():
+    return np.random.rand(3)  # analyze: allow-rng()

@@ -1,0 +1,26 @@
+"""Analysis fixture: keyed-stream RNG discipline — no rule fires.
+
+Never imported — parsed by ``tools.analysis`` self-tests only.
+"""
+
+import random
+
+import numpy as np
+
+
+def keyed_stream(seed):
+    rng = np.random.default_rng(np.random.SeedSequence([seed, 7]))
+    return rng.random(3)
+
+
+def explicit_generator(seed):
+    return np.random.Generator(np.random.PCG64(seed))
+
+
+def seeded_stdlib_instance(seed):
+    return random.Random(seed).random()
+
+
+def generator_method_calls(rng):
+    # Calls on a Generator instance are fine: the stream is keyed upstream.
+    return rng.normal(size=4) + rng.integers(0, 2)

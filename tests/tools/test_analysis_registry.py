@@ -1,0 +1,199 @@
+"""Self-tests for the registry-consistency checker (REG001-REG004).
+
+The checker runs against the *real* registry, so the positive cases
+temporarily register throwaway components and always unregister them.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import inspect
+
+from repro import registry
+from tools.analysis import RegistryConsistencyChecker, run_checkers
+from tools.analysis.core import REPO_ROOT, Module, Project
+
+
+def project_with_repro():
+    """A minimal project whose module set gates the checker on."""
+    path = REPO_ROOT / "src" / "repro" / "registry.py"
+    return Project(root=REPO_ROOT, modules=[Module(path, root=REPO_ROOT)])
+
+
+def src_components():
+    """(kind, name, factory) for the library's own registrations only.
+
+    Other test modules may leave throwaway components registered in this
+    process; like the checker's ``scope_prefix``, the whole-registry
+    assertions below must not depend on test execution order.
+    """
+    src_root = str(REPO_ROOT / "src")
+    for kind in registry.kinds():
+        for name, factory in sorted(registry.as_dict(kind).items()):
+            try:
+                source = inspect.getsourcefile(factory) or ""
+            except TypeError:
+                source = ""
+            if source.startswith(src_root):
+                yield kind, name, factory
+
+
+def unscoped_checker():
+    """A checker that audits test-registered components too.
+
+    The default ``scope_prefix="src/"`` ignores factories defined
+    outside the library (plug-ins, this very test suite), so the
+    positive cases below opt out of the restriction.
+    """
+    return RegistryConsistencyChecker(scope_prefix="")
+
+
+@contextlib.contextmanager
+def temporary_component(kind, name, factory):
+    registry.register(kind, name)(factory)
+    try:
+        yield
+    finally:
+        registry._REGISTRY[kind].pop(name, None)
+
+
+class GoodDocumentedModel:
+    """Stand-in factory with a clean, inspectable signature."""
+
+    def __init__(self, num_workers: int = 1) -> None:
+        self.num_workers = num_workers
+
+
+class TestGating:
+    def test_skipped_without_src_repro_modules(self, fixtures_dir):
+        findings = run_checkers(
+            [RegistryConsistencyChecker()],
+            [fixtures_dir / "rng_good.py"],
+            root=fixtures_dir,
+        )
+        assert findings == []
+
+    def test_real_registry_is_clean(self):
+        findings = list(
+            RegistryConsistencyChecker().check_project(project_with_repro())
+        )
+        assert findings == []
+
+
+class TestUndocumented:
+    def test_unknown_name_fires_reg001(self):
+        with temporary_component(
+            "model", "zz-analysis-test-model", GoodDocumentedModel
+        ):
+            findings = list(
+                unscoped_checker().check_project(project_with_repro())
+            )
+        # Filter to our component: other suites may have left their own
+        # throwaway registrations behind in this process.
+        reg001 = [
+            f
+            for f in findings
+            if f.rule == "REG001" and "zz-analysis-test-model" in f.message
+        ]
+        assert len(reg001) == 1
+        assert "model:zz-analysis-test-model" in reg001[0].message
+        # Cleanup restores a clean project.
+        assert (
+            list(RegistryConsistencyChecker().check_project(project_with_repro()))
+            == []
+        )
+
+    def test_documented_names_do_not_match_substrings(self):
+        from tools.analysis.registry_rules import _mentioned
+
+        text = "`label-skew` and `iid` are documented; so is staleness."
+        assert _mentioned("label-skew", text)
+        assert _mentioned("iid", text)
+        assert not _mentioned("skew", text)  # inside a hyphenated word
+        assert not _mentioned("stale", text)  # prefix of a longer word
+
+
+class TestIntrospection:
+    def test_opaque_factory_fires_reg002(self):
+        class Opaque:
+            """Callable whose signature introspection always fails."""
+
+            @property
+            def __signature__(self):
+                raise ValueError("no signature")
+
+            def __call__(self):  # pragma: no cover - never invoked
+                return None
+
+        with temporary_component("model", "zz-analysis-opaque", Opaque()):
+            findings = list(
+                unscoped_checker().check_project(project_with_repro())
+            )
+        reg002 = [
+            f
+            for f in findings
+            if f.rule == "REG002" and "zz-analysis-opaque" in f.message
+        ]
+        assert len(reg002) == 1
+        assert "model:zz-analysis-opaque" in reg002[0].message
+
+    def test_accepted_parameters_works_for_all_builtins(self):
+        checked = 0
+        for kind, name, factory in src_components():
+            registry.accepted_parameters(factory)
+            checked += 1
+        assert checked >= 25  # every built-in component has a signature
+
+
+class TestScenarioReachability:
+    def test_every_kind_is_reachable(self):
+        from repro.experiments.scenario import SCENARIO_COMPONENT_KINDS
+
+        builtin_kinds = {kind for kind, _, _ in src_components()}
+        assert builtin_kinds
+        assert builtin_kinds <= set(SCENARIO_COMPONENT_KINDS.values())
+
+    def test_unreachable_kind_fires_reg003(self):
+        with temporary_component(
+            "zz-test-kind", "zz-name", GoodDocumentedModel
+        ):
+            findings = list(
+                unscoped_checker().check_project(project_with_repro())
+            )
+        reg003 = [
+            f
+            for f in findings
+            if f.rule == "REG003" and "zz-test-kind" in f.message
+        ]
+        assert len(reg003) == 1
+
+
+class TestExportDiscipline:
+    def test_unexported_factory_fires_reg004(self):
+        def hidden_factory(num_workers: int = 1):
+            return num_workers
+
+        # Claim definition in repro.registry without actually living there:
+        # plug-in users could never import it from where it says it lives.
+        hidden_factory.__module__ = "repro.registry"
+        hidden_factory.__qualname__ = "zz_analysis_hidden_factory"
+        hidden_factory.__name__ = "zz_analysis_hidden_factory"
+        with temporary_component(
+            "model", "zz-analysis-hidden", hidden_factory
+        ):
+            findings = list(
+                unscoped_checker().check_project(project_with_repro())
+            )
+        reg004 = [f for f in findings if f.rule == "REG004"]
+        assert reg004
+        assert any("module-level attribute" in f.message for f in reg004)
+
+    def test_builtin_factories_are_all_exported(self):
+        # The real-registry cleanliness test covers this, but pin the
+        # specific property: every factory's defining module exports it.
+        import importlib
+
+        for kind, name, factory in src_components():
+            module = importlib.import_module(factory.__module__)
+            top = factory.__qualname__.split(".")[0]
+            assert getattr(module, top, None) is not None, f"{kind}:{name}"

@@ -1,0 +1,1 @@
+"""Repository tooling: documentation checks and the static-analysis suite."""

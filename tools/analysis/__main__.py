@@ -1,0 +1,163 @@
+"""CLI of the static-analysis suite (``python -m tools.analysis``).
+
+Default run: all checkers over ``src/repro``, compared against the
+committed baseline (``tools/analysis/baseline.json``), which may only
+shrink.  Exit status is non-zero on new findings or on stale baseline
+entries.
+
+``--mypy`` runs the strict-typing gate instead: ``mypy`` over the module
+list declared in ``pyproject.toml`` (``[tool.mypy] files``).  When mypy
+is not installed (the benchmark container ships without it) the gate is
+skipped with a warning and exit 0 — CI installs mypy and enforces it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from .core import REPO_ROOT, Baseline, run_checkers
+
+# Allow the registry checker to import the library without an exported
+# PYTHONPATH (mirrors tools/check_docs.py).
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from . import default_checkers  # noqa: E402
+
+DEFAULT_BASELINE = REPO_ROOT / "tools" / "analysis" / "baseline.json"
+DEFAULT_PATHS = [REPO_ROOT / "src" / "repro"]
+
+
+def run_mypy_gate() -> int:
+    """Run the strict-typing gate; skip (exit 0) when mypy is unavailable."""
+    try:
+        import mypy  # noqa: F401
+    except ImportError:
+        print(
+            "analyze: mypy is not installed; skipping the strict-typing gate "
+            "(CI installs mypy and enforces it)"
+        )
+        return 0
+    result = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file", "pyproject.toml"],
+        cwd=REPO_ROOT,
+    )
+    return result.returncode
+
+
+def main(argv: list | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.analysis",
+        description="repo-specific invariant checkers (+ gated mypy strict run)",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files/directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help="committed baseline file (must only shrink)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="report raw findings without baseline comparison",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current findings",
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write structured findings to FILE",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print every rule id and exit"
+    )
+    parser.add_argument(
+        "--mypy",
+        action="store_true",
+        help="run the mypy strict-typing gate instead of the checkers",
+    )
+    args = parser.parse_args(argv)
+
+    if args.mypy:
+        return run_mypy_gate()
+
+    checkers = default_checkers()
+    if args.list_rules:
+        for checker in checkers:
+            for rule, description in sorted(checker.rules.items()):
+                print(f"{rule}  [{checker.name}]  {description}")
+        return 0
+
+    paths = args.paths or DEFAULT_PATHS
+    findings = run_checkers(checkers, paths)
+
+    if args.json is not None:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(
+            json.dumps(
+                {
+                    "paths": [str(p) for p in paths],
+                    "findings": [f.to_dict() for f in findings],
+                },
+                indent=2,
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+
+    if args.update_baseline:
+        Baseline.from_findings(findings).save(args.baseline)
+        print(f"baseline updated: {len(findings)} finding(s) -> {args.baseline}")
+        return 0
+
+    if args.no_baseline:
+        for finding in findings:
+            print(finding.format())
+        print(f"analyze: {len(findings)} finding(s)")
+        return 1 if findings else 0
+
+    baseline = Baseline.load(args.baseline)
+    new, stale = baseline.compare(findings)
+    for finding in new:
+        print(finding.format())
+    for fingerprint in stale:
+        print(f"STALE baseline entry no longer fires: {fingerprint}")
+    grandfathered = len(findings) - len(new)
+    print(
+        f"analyze: {len(findings)} finding(s) "
+        f"({len(new)} new, {grandfathered} baselined), "
+        f"{len(stale)} stale baseline entr{'y' if len(stale) == 1 else 'ies'}"
+    )
+    if new:
+        print(
+            "new findings must be fixed or justified with an "
+            "# analyze: allow-<tag>(reason) comment — the baseline only shrinks"
+        )
+        return 1
+    if stale:
+        print(
+            "the baseline must only shrink: remove the resolved entries "
+            f"from {args.baseline}"
+        )
+        return 1
+    print("analyze: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,193 @@
+"""Hot-path allocation checker: O(1) per-round allocation, by construction.
+
+The batched engine's per-round cost model (see ``docs/PERFORMANCE.md``)
+assumes the inner kernels and the event-loop bodies never allocate fresh
+arrays: buffers are bound once per geometry, aggregation writes into
+trainer-owned scratch, group stacks recycle through the population pool.
+A stray ``np.zeros`` in a kernel silently turns O(1) per-round allocation
+into O(rounds x q) garbage churn — invisible to correctness tests and only
+caught by the XL RSS budget long after the fact.
+
+``HOT_PATHS`` declares the audited set: for each file, the dotted scope
+qualnames (``Class.method``) whose bodies must not allocate.  ``"*"``
+audits every scope in the file.
+
+Rule
+----
+``ALLOC001``
+    Allocating NumPy call (``np.zeros/empty/ones/full/array/copy/
+    concatenate/stack/...``, the ``*_like`` variants) or an ``.copy()``
+    method call inside a declared hot path.
+
+Escape hatch: ``# analyze: allow-alloc(reason)`` — used for documented
+one-time geometry binds, lazy first-touch promotions and fallback paths.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set
+
+from .core import Checker, Finding, Module
+from .walk import CallSite, import_map, iter_calls
+
+__all__ = ["HotPathAllocationChecker", "HOT_PATHS", "ALLOCATING_CALLS"]
+
+#: NumPy-namespace callables that materialize a fresh array.
+ALLOCATING_CALLS: Set[str] = {
+    "zeros",
+    "empty",
+    "ones",
+    "full",
+    "array",
+    "copy",
+    "concatenate",
+    "stack",
+    "vstack",
+    "hstack",
+    "dstack",
+    "column_stack",
+    "tile",
+    "repeat",
+    "empty_like",
+    "zeros_like",
+    "ones_like",
+    "full_like",
+    "arange",
+    "linspace",
+    "eye",
+    "identity",
+    "fromiter",
+    "frombuffer",
+}
+
+#: The declared hot-path set: repo-relative file -> scope qualnames whose
+#: bodies must stay allocation-free.  Kept in lockstep with the per-round
+#: cost model documented in docs/PERFORMANCE.md and the "Checked
+#: invariants" section of docs/ARCHITECTURE.md.
+HOT_PATHS: Dict[str, Set[str]] = {
+    # Batched per-step kernels: geometry buffers bind once (in bind()/
+    # _buffers_for()/first-touch branches, annotated), the steady-state
+    # forward/backward/step bodies write in place.
+    "src/repro/nn/batched.py": {
+        "_BatchedDense.forward",
+        "_BatchedDense.backward",
+        "_BatchedDense.sgd_step",
+        "_BatchedDense.scale_params",
+        "_BatchedDense.add_offset",
+        "_BatchedReLU.forward",
+        "_BatchedReLU.backward",
+        "_BatchedFlatten.forward",
+        "_BatchedFlatten.backward",
+        "_BatchedConv2D.forward",
+        "_BatchedConv2D.backward",
+        "_BatchedConv2D.sgd_step",
+        "_BatchedConv2D.scale_params",
+        "_BatchedConv2D.add_offset",
+        "_BatchedMaxPool2D.forward",
+        "_BatchedMaxPool2D.backward",
+        "_BatchedDropout.forward",
+        "_BatchedDropout.backward",
+    },
+    # The grouped event loop: one commit per round, stacks from the pool.
+    "src/repro/fl/grouped.py": {
+        "GroupedAsyncTrainer.run",
+        "GroupedAsyncTrainer._dispatch_group",
+        "GroupedAsyncTrainer._base_of",
+        "GroupedAsyncTrainer._commit_base",
+        "GroupedAsyncTrainer._group_stack",
+        "GroupedAsyncTrainer._submit_speculation",
+        "GroupedAsyncTrainer.group_compute_time",
+    },
+    # The aggregation path: alpha @ A into trainer-owned buffers.
+    "src/repro/fl/base.py": {
+        "BaseTrainer.exact_group_update",
+        "BaseTrainer.aircomp_group_update",
+        "BaseTrainer._commit_global",
+        "BaseTrainer._group_stack",
+        "BaseTrainer._release_stack",
+    },
+    # Server-side protocol transitions: O(1) per event.
+    "src/repro/core/mechanism.py": {
+        "GroupAsyncScheduler.receive_ready",
+        "GroupAsyncScheduler.receive_group_ready",
+        "GroupAsyncScheduler.complete_aggregation",
+        "GroupAsyncScheduler.abort_group",
+    },
+}
+
+_HINT = (
+    "write into a pre-bound buffer (out=/np.copyto), recycle through the "
+    "pool, or justify with # analyze: allow-alloc(reason)"
+)
+
+
+class HotPathAllocationChecker(Checker):
+    """ALLOC001: no fresh-array calls inside the declared hot paths."""
+
+    name = "hot-path-allocation"
+    rules = {
+        "ALLOC001": "allocating NumPy call inside a declared hot path",
+    }
+    allow_tag = "alloc"
+
+    def __init__(self, hot_paths: Optional[Dict[str, Set[str]]] = None) -> None:
+        self.hot_paths = HOT_PATHS if hot_paths is None else hot_paths
+
+    def check_module(self, module: Module) -> Iterable[Finding]:
+        scopes = self.hot_paths.get(module.rel)
+        if not scopes:
+            return []
+        imports = import_map(module.tree)
+        numpy_aliases = {a for a, o in imports.items() if o == "numpy"}
+        findings: List[Finding] = []
+        for site in iter_calls(module.tree):
+            if not self._in_hot_scope(site.qualname, scopes):
+                continue
+            reason = self._allocation(site, numpy_aliases)
+            if reason is None:
+                continue
+            if module.allows(self.allow_tag, site.node, site.stmt):
+                continue
+            findings.append(
+                module.finding(
+                    "ALLOC001",
+                    site.node,
+                    f"{reason} allocates inside hot path {site.qualname}",
+                    _HINT,
+                )
+            )
+        return findings
+
+    @staticmethod
+    def _in_hot_scope(qualname: str, scopes: Set[str]) -> bool:
+        if "*" in scopes:
+            return bool(qualname)
+        # A nested scope (closure, comprehension helper) inherits the
+        # hot-path property of its enclosing function.
+        return any(
+            qualname == scope or qualname.startswith(scope + ".")
+            for scope in scopes
+        )
+
+    @staticmethod
+    def _allocation(site: CallSite, numpy_aliases: Set[str]) -> Optional[str]:
+        name = site.func_name
+        if name is not None:
+            parts = name.split(".")
+            if (
+                len(parts) == 2
+                and parts[0] in numpy_aliases
+                and parts[1] in ALLOCATING_CALLS
+            ):
+                return f"{name}(...)"
+        # ``.copy()`` method call — a fresh array regardless of receiver
+        # (covers chained receivers like ``np.asarray(v).copy()``).
+        func = site.node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "copy"
+            and not (name and name.split(".")[0] in numpy_aliases)
+        ):
+            return f"{name or '<expr>.copy'}(...)"
+        return None

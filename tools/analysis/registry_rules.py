@@ -1,0 +1,227 @@
+"""Registry-consistency checker: every component is usable end to end.
+
+A component registered via ``repro.registry.register(kind, name)`` is only
+*useful* when a scenario author can reach it: it must be importable at
+module level, documented in ``docs/API.md``, constructible through the
+``accepted_parameters`` introspection that powers eager kwarg validation,
+and its kind must be reachable from some :class:`Scenario` section.  Each
+of those properties has historically regressed silently (a trainer
+registered but undocumented, a factory hidden behind a closure that
+``inspect.signature`` cannot see).
+
+Rules
+-----
+``REG000``  the registry itself failed to import/populate (environment).
+``REG001``  registered component name missing from ``docs/API.md``.
+``REG002``  ``accepted_parameters()`` introspection fails for a factory.
+``REG003``  a registered kind is reachable from no ``Scenario`` section
+            (``repro.experiments.scenario.SCENARIO_COMPONENT_KINDS``).
+``REG004``  factory is not reachable as a module-level attribute of its
+            defining module (or missing from that module's ``__all__``).
+
+This checker imports the library (``PYTHONPATH=src``); it runs only when
+the analyzed tree includes ``src/repro``.
+
+Escape hatch: ``# analyze: allow-registry(reason)`` on the registration
+line of the defining module.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import re
+from pathlib import Path
+from typing import Iterable, List, Optional
+
+from .core import REPO_ROOT, Checker, Finding, Project
+
+__all__ = ["RegistryConsistencyChecker"]
+
+
+def _mentioned(name: str, text: str) -> bool:
+    """Whether ``name`` appears as a standalone word in ``text``.
+
+    Hyphens bind (`skew` is not documented by `label-skew`), and so do
+    dots and identifier characters.
+    """
+    return (
+        re.search(rf"(?<![\w.\-]){re.escape(name)}(?![\w\-])", text) is not None
+    )
+
+
+class RegistryConsistencyChecker(Checker):
+    """REG000-REG004: registered components stay documented and reachable.
+
+    Only components *defined under* ``scope_prefix`` (default ``src/``)
+    are audited: plug-ins and test suites may register components into
+    the live process without failing the repo's own CI.
+    """
+
+    name = "registry-consistency"
+    rules = {
+        "REG000": "registry import/population failure",
+        "REG001": "registered component undocumented in docs/API.md",
+        "REG002": "factory fails accepted_parameters introspection",
+        "REG003": "registered kind unreachable from any Scenario section",
+        "REG004": "factory not exported at module level",
+    }
+    allow_tag = "registry"
+
+    def __init__(
+        self, root: Path = REPO_ROOT, scope_prefix: str = "src/"
+    ) -> None:
+        self.root = Path(root)
+        self.scope_prefix = scope_prefix
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        if not any(m.rel.startswith("src/repro") for m in project.modules):
+            return []
+        try:
+            registry = importlib.import_module("repro.registry")
+            scenario = importlib.import_module("repro.experiments.scenario")
+            kinds = registry.kinds()
+        except Exception as exc:  # pragma: no cover - environment issue
+            return [
+                Finding(
+                    rule="REG000",
+                    path="src/repro/registry.py",
+                    line=1,
+                    message=f"cannot import/populate the registry: {exc}",
+                    hint="run with PYTHONPATH=src and numpy installed",
+                )
+            ]
+        api_doc = self.root / "docs" / "API.md"
+        api_text = api_doc.read_text(encoding="utf-8") if api_doc.exists() else ""
+
+        findings: List[Finding] = []
+        reachable = set(
+            getattr(scenario, "SCENARIO_COMPONENT_KINDS", {}).values()
+        )
+        for kind in kinds:
+            in_scope = False
+            for name, factory in sorted(registry.as_dict(kind).items()):
+                path, line = self._location(factory)
+                if self.scope_prefix and not path.startswith(self.scope_prefix):
+                    continue  # plug-in/test registration: not ours to audit
+                in_scope = True
+                findings.extend(
+                    self._check_component(
+                        registry, kind, name, factory, api_text, path, line
+                    )
+                )
+            if in_scope and kind not in reachable:
+                findings.append(
+                    Finding(
+                        rule="REG003",
+                        path="src/repro/experiments/scenario.py",
+                        line=1,
+                        message=(
+                            f"registry kind {kind!r} is reachable from no "
+                            "Scenario section"
+                        ),
+                        hint=(
+                            "add the section (or params route) to "
+                            "SCENARIO_COMPONENT_KINDS"
+                        ),
+                    )
+                )
+        return findings
+
+    # ------------------------------------------------------------------
+    def _location(self, factory: object) -> tuple:
+        """(repo-relative path, line) of the factory definition."""
+        try:
+            source_file = inspect.getsourcefile(factory)
+            line = inspect.getsourcelines(factory)[1]
+        except (TypeError, OSError):
+            source_file, line = None, 1
+        if source_file:
+            try:
+                rel = (
+                    Path(source_file).resolve().relative_to(self.root.resolve())
+                ).as_posix()
+                return rel, line
+            except ValueError:
+                pass
+        return "src/repro/registry.py", 1
+
+    def _check_component(
+        self,
+        registry: object,
+        kind: str,
+        name: str,
+        factory: object,
+        api_text: str,
+        path: str,
+        line: int,
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        label = f"{kind}:{name}"
+
+        if not _mentioned(name, api_text):
+            findings.append(
+                Finding(
+                    rule="REG001",
+                    path=path,
+                    line=line,
+                    message=(
+                        f"registered component {label} is not documented in "
+                        "docs/API.md"
+                    ),
+                    hint="mention the name in the component tables of docs/API.md",
+                )
+            )
+        try:
+            registry.accepted_parameters(factory)  # type: ignore[attr-defined]
+        except Exception as exc:
+            findings.append(
+                Finding(
+                    rule="REG002",
+                    path=path,
+                    line=line,
+                    message=(
+                        f"accepted_parameters({label}) introspection fails: {exc}"
+                    ),
+                    hint=(
+                        "factories must expose an inspectable signature "
+                        "(plain def/class, no opaque wrappers)"
+                    ),
+                )
+            )
+        findings.extend(self._check_export(label, factory, path, line))
+        return findings
+
+    @staticmethod
+    def _check_export(
+        label: str, factory: object, path: str, line: int
+    ) -> List[Finding]:
+        module_name: Optional[str] = getattr(factory, "__module__", None)
+        qualname: str = getattr(factory, "__qualname__", "") or ""
+        top = qualname.split(".")[0]
+        if module_name is None or not top:
+            return []
+        try:
+            module = importlib.import_module(module_name)
+        except Exception:  # pragma: no cover - import environment issue
+            return []
+        resolved = getattr(module, top, None)
+        target = factory if "." not in qualname else resolved
+        problems: List[str] = []
+        if resolved is None or (target is not None and resolved is not target):
+            problems.append(
+                f"{top!r} is not a module-level attribute of {module_name}"
+            )
+        exported = getattr(module, "__all__", None)
+        if exported is not None and top not in exported:
+            problems.append(f"{top!r} is missing from {module_name}.__all__")
+        return [
+            Finding(
+                rule="REG004",
+                path=path,
+                line=line,
+                message=f"component {label}: {problem}",
+                hint="export the factory so plug-in users can import it",
+            )
+            for problem in problems
+        ]

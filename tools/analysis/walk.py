@@ -1,0 +1,100 @@
+"""Shared AST-walking utilities for the checkers."""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["dotted_name", "import_map", "iter_calls", "CallSite"]
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, ``None`` for anything else."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def import_map(tree: ast.Module) -> Dict[str, str]:
+    """Alias -> fully qualified origin for every import in the module.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from random import
+    shuffle as sh`` maps ``sh -> random.shuffle``.  Relative imports keep
+    their leading dots (``from ..core import x`` maps ``x -> ..core.x``).
+    """
+    mapping: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                mapping[alias.asname or alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom):
+            prefix = "." * node.level + (node.module or "")
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                mapping[alias.asname or alias.name] = f"{prefix}.{alias.name}"
+    return mapping
+
+
+class CallSite:
+    """A call expression with its enclosing statement and scope qualname."""
+
+    def __init__(self, node: ast.Call, stmt: ast.stmt, qualname: str) -> None:
+        self.node = node
+        self.stmt = stmt
+        self.qualname = qualname  # "" at module level, else "Class.method" etc.
+
+    @property
+    def func_name(self) -> Optional[str]:
+        return dotted_name(self.node.func)
+
+
+def iter_calls(tree: ast.Module) -> Iterator[CallSite]:
+    """Every call, with its *innermost* enclosing statement and the dotted
+    qualname of the function/class scope it executes in ("" = module level).
+    """
+    for stmt in tree.body:
+        yield from _visit_stmt(stmt, scope=())
+
+
+def _visit_stmt(stmt: ast.stmt, scope: Tuple[str, ...]) -> Iterator[CallSite]:
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        # Decorators and argument defaults evaluate in the enclosing scope.
+        outer: List[ast.expr] = list(stmt.decorator_list)
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            outer.extend(stmt.args.defaults)
+            outer.extend(d for d in stmt.args.kw_defaults if d is not None)
+        for expr in outer:
+            yield from _calls_in_expr(expr, stmt, scope)
+        for child in stmt.body:
+            yield from _visit_stmt(child, scope + (stmt.name,))
+        return
+    # Expressions attached directly to this statement (tests, targets,
+    # values, iterables, with-items, ...) belong to it; nested statement
+    # bodies recurse so each call reports its innermost statement.
+    for child in ast.iter_child_nodes(stmt):
+        if isinstance(child, ast.stmt):
+            yield from _visit_stmt(child, scope)
+        elif isinstance(child, (ast.excepthandler, ast.withitem)):
+            for sub in ast.iter_child_nodes(child):
+                if isinstance(sub, ast.stmt):
+                    yield from _visit_stmt(sub, scope)
+                else:
+                    yield from _calls_in_expr(sub, stmt, scope)
+        else:
+            yield from _calls_in_expr(child, stmt, scope)
+
+
+def _calls_in_expr(
+    node: ast.AST, stmt: ast.stmt, scope: Tuple[str, ...]
+) -> Iterator[CallSite]:
+    # Expressions cannot contain statements (lambda bodies are expressions),
+    # so a plain walk is safe here.
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            yield CallSite(sub, stmt, ".".join(scope))
